@@ -1,0 +1,189 @@
+"""Ablations — measure the contribution of each design decision.
+
+Beyond the paper's own evaluation: switch off Algorithm 1, sweep δ̂ and
+the block geometry, couple the congestion control, and vary the MPTCP
+baseline's scheduler, all on Table I case 4 (the hardest loss-ramp case).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_duration
+from repro.experiments.ablations import (
+    ablate_allocation,
+    ablate_block_size,
+    ablate_congestion_coupling,
+    ablate_delta_hat,
+    ablate_mptcp_scheduler,
+)
+
+
+def _summary_line(name, result):
+    summary = result.summary
+    return (
+        f"{name:>18}: goodput {summary['goodput_mbytes_per_s']:.3f} MB/s, "
+        f"delay {summary['mean_block_delay_ms']:.0f} ms, "
+        f"jitter {summary['jitter_ms']:.1f} ms"
+    )
+
+
+def test_ablation_eat_vs_greedy_allocation(benchmark, report):
+    duration = min(bench_duration(), 40.0)
+
+    def run():
+        return {
+            case_id: ablate_allocation(case_id=case_id, duration_s=duration)
+            for case_id in (4, 5)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Algorithm 1 (EAT) vs greedy vs HMTP-like stop-and-wait"]
+    for case_id, modes in results.items():
+        for name, result in modes.items():
+            lines.append(
+                f"{_summary_line(f'case{case_id}/{name}', result)}, "
+                f"redundancy {result.extras['redundancy_ratio']:.2f}"
+            )
+    # HMTP's stop-and-wait (send until the decode confirmation arrives)
+    # wastes an order of magnitude in redundancy — the paper's Section II
+    # criticism, quantified.
+    stopwait = results[4]["stopwait"]
+    eat = results[4]["eat"]
+    assert stopwait.extras["redundancy_ratio"] > 5 * eat.extras["redundancy_ratio"]
+    assert (
+        eat.summary["goodput_mbytes_per_s"]
+        > 3 * stopwait.summary["goodput_mbytes_per_s"]
+    )
+    # The EAT allocator pays off where path delays diverge (case 5:
+    # subflow 2 is fast but lossy): higher goodput and lower block delay
+    # because urgent symbols ride the path that arrives first. On
+    # delay-equal paths (case 4) the two allocators are near-identical.
+    case5 = results[5]
+    assert (
+        case5["eat"].summary["goodput_mbytes_per_s"]
+        >= case5["greedy"].summary["goodput_mbytes_per_s"]
+    )
+    assert (
+        case5["eat"].summary["mean_block_delay_ms"]
+        <= case5["greedy"].summary["mean_block_delay_ms"]
+    )
+    case4 = results[4]
+    assert case4["eat"].summary["goodput_mbytes_per_s"] == pytest.approx(
+        case4["greedy"].summary["goodput_mbytes_per_s"], rel=0.15
+    )
+    report("ablation_allocation", lines)
+
+
+def test_ablation_delta_hat_tradeoff(benchmark, report):
+    duration = min(bench_duration(), 30.0)
+    deltas = [1e-1, 1e-2, 1e-3, 1e-5]
+    results = benchmark.pedantic(
+        lambda: ablate_delta_hat(deltas=deltas, duration_s=duration),
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["δ̂ sweep (redundancy vs reliability), case 4"]
+    redundancies = []
+    for delta in deltas:
+        result = results[delta]
+        redundancy = result.extras["redundancy_ratio"]
+        redundancies.append(redundancy)
+        lines.append(
+            f"{_summary_line(f'δ̂={delta:g}', result)}, redundancy {redundancy:.3f}"
+        )
+    # Stricter delta-hat -> monotonically more redundancy.
+    assert redundancies == sorted(redundancies)
+    report("ablation_delta_hat", lines)
+
+
+def test_ablation_block_size(benchmark, report):
+    duration = min(bench_duration(), 30.0)
+    ks = [64, 128, 256, 512]
+    results = benchmark.pedantic(
+        lambda: ablate_block_size(ks=ks, duration_s=duration), rounds=1, iterations=1
+    )
+    lines = ["block geometry sweep (8 KiB block, varying k̂), case 4"]
+    for k in ks:
+        result = results[k]
+        lines.append(
+            f"{_summary_line(f'k={k}', result)}, "
+            f"redundancy {result.extras['redundancy_ratio']:.3f}"
+        )
+    # Larger k amortises the log2(1/δ̂) margin: redundancy must shrink.
+    assert (
+        results[512].extras["redundancy_ratio"]
+        < results[64].extras["redundancy_ratio"]
+    )
+    report("ablation_block_size", lines)
+
+
+def test_ablation_congestion_coupling(benchmark, report):
+    duration = min(bench_duration(), 30.0)
+    results = benchmark.pedantic(
+        lambda: ablate_congestion_coupling(duration_s=duration), rounds=1, iterations=1
+    )
+    lines = [
+        "uncoupled Reno vs LIA coupling on disjoint paths, case 4",
+        "(paper Section III-A: the choice should not influence results much)",
+    ]
+    for name, result in results.items():
+        lines.append(_summary_line(name, result))
+    reno = results["reno"].summary["goodput_mbytes_per_s"]
+    lia = results["lia"].summary["goodput_mbytes_per_s"]
+    assert lia > 0.5 * reno  # same ballpark on disjoint paths
+    report("ablation_congestion", lines)
+
+
+def test_ablation_buffer_size(benchmark, report):
+    from repro.experiments.ablations import ablate_buffer_size
+    from repro.metrics.stats import mean
+
+    duration = 80.0 if bench_duration() < 30.0 else 120.0
+    results = benchmark.pedantic(
+        lambda: ablate_buffer_size(duration_s=duration), rounds=1, iterations=1
+    )
+
+    def during_rate(result, duration_s):
+        lo, hi = duration_s / 4, 3 * duration_s / 4
+        return mean([v for t, v in result.goodput_series if lo <= t < hi])
+
+    lines = [
+        "receive-buffer sensitivity under the 35% loss surge",
+        "(head-of-line blocking binds only when the buffer is scarce)",
+        f"{'buffer':>10} {'FMTCP during':>14} {'MPTCP during':>14} {'gap':>6}",
+    ]
+    gaps = {}
+    for blocks, pair in results.items():
+        fmtcp_rate = during_rate(pair["fmtcp"], duration)
+        mptcp_rate = during_rate(pair["mptcp"], duration)
+        gaps[blocks] = fmtcp_rate / max(mptcp_rate, 1e-9)
+        lines.append(
+            f"{blocks * 8:>8}KB {fmtcp_rate:>14.3f} {mptcp_rate:>14.3f} "
+            f"{gaps[blocks]:>6.2f}"
+        )
+    # Scarcer buffers hurt MPTCP (HoL) more than FMTCP.
+    smallest, largest = min(gaps), max(gaps)
+    assert gaps[smallest] > gaps[largest]
+    report("ablation_buffer_size", lines)
+
+
+def test_ablation_mptcp_scheduler(benchmark, report):
+    duration = min(bench_duration(), 30.0)
+    results = benchmark.pedantic(
+        lambda: ablate_mptcp_scheduler(duration_s=duration), rounds=1, iterations=1
+    )
+    lines = ["MPTCP baseline scheduler variants, case 4"]
+    for name, result in results.items():
+        lines.append(
+            f"{_summary_line(name, result)}, "
+            f"retx {result.extras['chunks_retransmitted']}, "
+            f"reinjected {result.extras['chunks_reinjected']}"
+        )
+    assert results["minrtt+reinject"].extras["chunks_reinjected"] > 0
+    # Even the NSDI'12-style ORP baseline does not close the gap to FMTCP
+    # (compare against the fig3/fig5 FMTCP numbers for case 4).
+    orp = results["minrtt+orp"].summary["mean_block_delay_ms"]
+    plain = results["minrtt"].summary["mean_block_delay_ms"]
+    assert orp <= plain * 1.05, "ORP should not make delay worse"
+    report("ablation_mptcp_scheduler", lines)

@@ -1,0 +1,103 @@
+"""Section IV-C analysis — SEDT (Eq. 13), Theorem 2 and Theorem 3.
+
+Monte-Carlo cross-check of the SEDT closed form, the quality ordering it
+induces over the Table I paths, and the delivery-time-ratio comparison
+that closes the section: FMTCP's bound beats MPTCP's ratio m once path
+diversity exceeds m* = 1 + 2(1-p1)/(p2(1+p1)).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.allocation import (
+    fmtcp_beats_mptcp_condition,
+    mptcp_delivery_ratio,
+    theorem3_ratio_bound,
+)
+from repro.core.estimators import sedt
+from repro.workloads.scenarios import TABLE1_CASES
+
+
+def simulate_sedt(rtt, loss, rto, trials=50_000, seed=3):
+    """Empirical single-path expected delivery time (Definition 8)."""
+    rng = random.Random(seed)
+    total = 0.0
+    for __ in range(trials):
+        elapsed = 0.0
+        while rng.random() < loss:
+            elapsed += rto  # timeout, send again
+        total += elapsed + rtt / 2.0
+    return total / trials
+
+
+def test_sedt_closed_form_matches_simulation(benchmark, report):
+    points = [(0.2, 0.02, 0.2), (0.2, 0.15, 0.25), (0.3, 0.10, 0.4), (0.05, 0.10, 0.2)]
+
+    def run():
+        return [
+            (rtt, loss, rto, sedt(rtt, loss, rto), simulate_sedt(rtt, loss, rto))
+            for rtt, loss, rto in points
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "SEDT (Eq. 13) closed form vs Monte-Carlo",
+        f"{'rtt':>6} {'loss':>6} {'rto':>6} {'eq13':>8} {'empirical':>10}",
+    ]
+    for rtt, loss, rto, closed, empirical in rows:
+        lines.append(
+            f"{rtt:>6.2f} {loss:>6.2f} {rto:>6.2f} {closed:>8.4f} {empirical:>10.4f}"
+        )
+        assert abs(empirical - closed) / closed < 0.03
+    report("analysis_sedt", lines)
+
+
+def test_theorem2_ordering_on_table1_paths(benchmark, report):
+    """SEDT must rank the Table I variants consistently with quality."""
+
+    def run():
+        rows = []
+        for case in TABLE1_CASES:
+            rtt = 2 * case.delay_s
+            rows.append((case, sedt(rtt, case.loss_rate, max(2 * rtt, 0.2))))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["SEDT of subflow-2 variants (s)"]
+    for case, value in rows:
+        lines.append(f"  case {case.case_id} ({case.label()}): {value:.4f}")
+    by_case = {case.case_id: value for case, value in rows}
+    # More loss at equal delay -> larger SEDT (cases 1-4).
+    assert by_case[1] < by_case[2] < by_case[3] < by_case[4]
+    # More delay at equal loss -> larger SEDT (cases 5-8).
+    assert by_case[5] < by_case[6] < by_case[7] < by_case[8]
+    report("analysis_theorem2", lines)
+
+
+def test_theorem3_ratio_bound_table(benchmark, report):
+    p1 = 0.01
+
+    def run():
+        rows = []
+        for p2 in (0.05, 0.10, 0.15, 0.25):
+            threshold = fmtcp_beats_mptcp_condition(p1, p2)
+            for m in (2.0, threshold, 2 * threshold):
+                rows.append(
+                    (p2, m, theorem3_ratio_bound(p1, p2, m), mptcp_delivery_ratio(m))
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"Theorem 3 (Eq. 17) vs MPTCP's ratio m (p1={p1})",
+        f"{'p2':>6} {'m':>8} {'FMTCP bound':>12} {'MPTCP':>8} {'winner':>8}",
+    ]
+    for p2, m, bound, mptcp in rows:
+        winner = "FMTCP" if bound < mptcp else "MPTCP"
+        lines.append(f"{p2:>6.2f} {m:>8.2f} {bound:>12.2f} {mptcp:>8.2f} {winner:>8}")
+    # Beyond the threshold FMTCP's bound always wins.
+    for p2, m, bound, mptcp in rows:
+        if m > fmtcp_beats_mptcp_condition(p1, p2) * 1.01:
+            assert bound < mptcp
+    report("analysis_theorem3", lines)

@@ -1,0 +1,84 @@
+"""Section III-B analysis — Eqs. (3)-(7) against Monte-Carlo simulation.
+
+Regenerates the paper's quantitative argument for rateless over
+fixed-rate coding: the Chernoff bound on retransmission-free delivery of
+a fixed-rate block (Eq. 6) and the fountain's constant additive symbol
+overhead (Eq. 7).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.coding import (
+    chernoff_no_retransmission_bound,
+    expected_packets_delivered,
+    fountain_expected_symbols_bound,
+    fountain_expected_symbols_exact,
+    simulate_fixed_rate_delivery,
+    simulate_fountain_delivery,
+)
+
+SCENARIOS = [  # (A packets, estimated p1, actual p2)
+    (50, 0.05, 0.10),
+    (100, 0.05, 0.10),
+    (100, 0.05, 0.15),
+    (200, 0.10, 0.20),
+]
+
+FOUNTAIN_POINTS = [(256, 0.0), (256, 0.1), (256, 0.2), (64, 0.15)]
+
+
+def test_analysis_eq3_to_eq6_fixed_rate(benchmark, report):
+    def run():
+        rows = []
+        for block, p1, p2 in SCENARIOS:
+            rows.append(
+                (
+                    block,
+                    p1,
+                    p2,
+                    expected_packets_delivered(block, p1),
+                    chernoff_no_retransmission_bound(block, p1, p2),
+                    simulate_fixed_rate_delivery(block, p1, p2, trials=4000),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "fixed-rate coding with underestimated loss (Eqs. 3-6)",
+        f"{'A':>5} {'p1':>5} {'p2':>5} {'E(X) eq3':>9} {'bound eq6':>10} {'empirical':>10}",
+    ]
+    for block, p1, p2, expected, bound, empirical in rows:
+        lines.append(
+            f"{block:>5} {p1:>5.2f} {p2:>5.2f} {expected:>9.1f} "
+            f"{bound:>10.4f} {empirical:>10.4f}"
+        )
+        assert empirical <= bound + 0.02, "Chernoff bound violated"
+    # Exponential decay in block size: larger A, smaller success probability.
+    assert rows[1][5] <= rows[0][5] + 0.02
+    report("analysis_fixed_rate", lines)
+
+
+def test_analysis_eq7_fountain_overhead(benchmark, report):
+    def run():
+        return [
+            (
+                k,
+                p,
+                fountain_expected_symbols_bound(k, p),
+                fountain_expected_symbols_exact(k, p),
+                simulate_fountain_delivery(k, p, trials=300),
+            )
+            for k, p in FOUNTAIN_POINTS
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "fountain symbol cost per block (Eq. 7): E(Y) <= (k+4)/(1-p)",
+        f"{'k':>5} {'p':>5} {'bound':>8} {'exact':>8} {'empirical':>10}",
+    ]
+    for k, p, bound, exact, empirical in rows:
+        lines.append(f"{k:>5} {p:>5.2f} {bound:>8.1f} {exact:>8.1f} {empirical:>10.1f}")
+        assert exact <= bound
+        assert abs(empirical - exact) / exact < 0.05
+    report("analysis_fountain_overhead", lines)

@@ -1,0 +1,50 @@
+"""TCP-friendliness on a shared bottleneck (extension; paper §III-A).
+
+The paper asserts FMTCP can adopt any of the surveyed congestion-control
+mechanisms and, on its disjoint-path evaluation, never tests contention.
+This benchmark closes that gap: one FMTCP flow against N plain TCP flows
+in a drop-tail dumbbell must split the bottleneck fairly (Jain index ≈ 1,
+FMTCP at or slightly below its fair share — the coding redundancy is paid
+out of FMTCP's own goodput, not out of its competitors').
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_duration
+from repro.experiments.fairness import run_fairness
+
+
+def test_fmtcp_tcp_friendliness(benchmark, report):
+    duration = min(bench_duration(), 30.0)
+
+    def run():
+        return {
+            protocol: run_fairness(
+                protocol_under_test=protocol,
+                n_competitors=3,
+                duration_s=duration,
+            )
+            for protocol in ("tcp", "fmtcp")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"1 flow under test vs 3 plain TCP flows, 10 Mbit/s bottleneck, {duration:.0f}s"
+    ]
+    for protocol, result in results.items():
+        rates = ", ".join(
+            f"{name}={rate:.2f}" for name, rate in sorted(result.rates_mbps.items())
+        )
+        lines.append(
+            f"{protocol:>6}: Jain {result.jain:.3f}, share of fair "
+            f"{result.test_flow_share:.2f} ({rates} Mbit/s)"
+        )
+
+    control = results["tcp"]
+    fmtcp = results["fmtcp"]
+    assert control.jain > 0.95  # sanity: TCP vs TCP is fair
+    assert fmtcp.jain > 0.95
+    # FMTCP must not out-compete TCP; it may fall slightly below fair
+    # share because goodput excludes its coding redundancy.
+    assert 0.70 < fmtcp.test_flow_share <= 1.10
+    report("fairness_shared_bottleneck", lines)

@@ -1,0 +1,55 @@
+"""Figure 3 — total goodput, FMTCP vs IETF-MPTCP across Table I cases.
+
+Shape targets (DESIGN.md §5): FMTCP ≥ MPTCP on the loss-ramp cases with a
+gap that widens as subflow-2 loss grows; MPTCP degrades steeply from case
+1 to case 4 (the paper reports up to ~60 %) while FMTCP degrades only
+slightly. Absolute megabytes differ from the paper (different simulator,
+unstated bandwidth) — ratios are the reproduction target.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_duration
+from repro.experiments.figures import run_figure3
+from repro.experiments.paper_data import FIG3_GOODPUT_MB
+
+
+def test_fig3_goodput_sweep(benchmark, report):
+    duration = bench_duration()
+    rows = benchmark.pedantic(
+        lambda: run_figure3(duration_s=duration), rounds=1, iterations=1
+    )
+
+    paper_fmtcp = FIG3_GOODPUT_MB["fmtcp"]
+    paper_mptcp = FIG3_GOODPUT_MB["mptcp"]
+    lines = [
+        f"total goodput over {duration:.0f}s (MB); paper columns are ~digitised from Fig. 3",
+        f"{'case':>4} {'FMTCP':>8} {'MPTCP':>8} {'ratio':>6} | {'paper F':>8} {'paper M':>8} {'ratio':>6}",
+    ]
+    for row in rows:
+        index = row["case"] - 1
+        paper_ratio = paper_fmtcp[index] / paper_mptcp[index]
+        lines.append(
+            f"{row['case']:>4} {row['fmtcp_goodput_mb']:>8.2f} "
+            f"{row['mptcp_goodput_mb']:>8.2f} {row['ratio']:>6.2f} | "
+            f"{paper_fmtcp[index]:>8.0f} {paper_mptcp[index]:>8.0f} {paper_ratio:>6.2f}"
+        )
+
+    # Shape assertions on the loss-ramp cases (1-4).
+    ramp = rows[:4]
+    for row in ramp[1:]:
+        assert row["fmtcp_goodput_mb"] > row["mptcp_goodput_mb"], row
+    assert ramp[3]["ratio"] > ramp[0]["ratio"], "gap must widen with loss"
+    mptcp_drop = 1 - ramp[3]["mptcp_goodput_mb"] / ramp[0]["mptcp_goodput_mb"]
+    fmtcp_drop = 1 - ramp[3]["fmtcp_goodput_mb"] / ramp[0]["fmtcp_goodput_mb"]
+    lines.append(
+        f"case1->4 degradation: MPTCP {mptcp_drop:.0%} (paper ~60%), "
+        f"FMTCP {fmtcp_drop:.0%} (paper: slight)"
+    )
+    # Our baseline recovers losses with go-back-N and min-RTT waterfall
+    # scheduling, so its degradation is milder than the paper's (~60 %);
+    # the direction and the FMTCP/MPTCP ordering are the reproduced shape.
+    assert mptcp_drop > 0.25
+    assert fmtcp_drop < 0.20
+    assert mptcp_drop > 2 * fmtcp_drop
+    report("fig3_goodput", lines)

@@ -1,0 +1,56 @@
+"""Figure 6 — mean block jitter across Table I cases.
+
+Shape targets: the jitter difference is even larger than the delay
+difference (the paper's observation), especially when one subflow's
+quality is very low. Shares the memoised Table I suite with Figs. 3/5.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_duration
+from repro.experiments.figures import run_figure6
+from repro.experiments.paper_data import FIG6_JITTER_MS
+
+
+def test_fig6_jitter_sweep(benchmark, report):
+    duration = bench_duration()
+    rows = benchmark.pedantic(
+        lambda: run_figure6(duration_s=duration), rounds=1, iterations=1
+    )
+
+    lines = [
+        "mean block jitter (ms); paper columns ~digitised from Fig. 6",
+        f"{'case':>4} {'FMTCP':>8} {'MPTCP':>8} | {'paper F':>8} {'paper M':>8}",
+    ]
+    for row in rows:
+        index = row["case"] - 1
+        lines.append(
+            f"{row['case']:>4} {row['fmtcp_jitter_ms']:>8.1f} "
+            f"{row['mptcp_jitter_ms']:>8.1f} | "
+            f"{FIG6_JITTER_MS['fmtcp'][index]:>8.0f} {FIG6_JITTER_MS['mptcp'][index]:>8.0f}"
+        )
+
+    # FMTCP's jitter below MPTCP's on the loss-ramp cases 1-4 (the
+    # paper's main story). Case 5 can deviate in our substrate: its
+    # subflow 2 is *faster* than subflow 1, so FMTCP's allocator mixes
+    # two very different per-path delays into the block sequence (see
+    # EXPERIMENTS.md, "known deviations").
+    for row in rows[:4]:
+        assert row["fmtcp_jitter_ms"] < row["mptcp_jitter_ms"], row
+    favourable = sum(
+        1 for row in rows if row["fmtcp_jitter_ms"] < row["mptcp_jitter_ms"]
+    )
+    # On the delay-diverse cases (5/6/8) our baseline's min-RTT scheduler
+    # quarantines the slow path and can edge out FMTCP on jitter — a
+    # stronger baseline than the paper's (see EXPERIMENTS.md).
+    assert favourable >= 5, f"FMTCP should win jitter on most cases ({favourable}/8)"
+    # MPTCP's jitter grows along the loss ramp.
+    ramp = [row["mptcp_jitter_ms"] for row in rows[:4]]
+    assert ramp[3] > 1.5 * ramp[0]
+    # Paper: the jitter gap at the worst case exceeds the delay gap. The
+    # full gap (>2x) needs runs long enough for FMTCP's jitter to settle;
+    # short REPRO_FAST runs only check the direction.
+    worst = rows[3]
+    gap_factor = 2.0 if duration >= 40.0 else 1.2
+    assert worst["mptcp_jitter_ms"] > gap_factor * worst["fmtcp_jitter_ms"]
+    report("fig6_jitter", lines)

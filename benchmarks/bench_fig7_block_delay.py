@@ -1,0 +1,55 @@
+"""Figure 7 — per-block delivery delay vs block sequence, Table I case 4.
+
+Shape targets: MPTCP's series shows frequent large fluctuations (paper:
+peaks around five times the mean) while FMTCP's stays flat; measured as
+distribution spread (p95/median) plus spike counts over the first 1000
+blocks.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_duration
+from repro.experiments.figures import run_figure7
+from repro.experiments.paper_data import FIG7_MPTCP_MAX_OVER_MEAN
+from repro.metrics.stats import mean, percentile
+
+
+def test_fig7_per_block_delay_series(benchmark, report):
+    duration = bench_duration()
+    series = benchmark.pedantic(
+        lambda: run_figure7(duration_s=duration, max_blocks=1000),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [f"per-block delivery delay, case 4 (100 ms / 15 %), {duration:.0f}s run"]
+    stats = {}
+    for protocol in ("fmtcp", "mptcp"):
+        delays_ms = [delay * 1e3 for delay in series[protocol]]
+        median = percentile(delays_ms, 50)
+        p95 = percentile(delays_ms, 95)
+        spikes = sum(1 for delay in delays_ms if delay > 2 * median)
+        stats[protocol] = {
+            "mean": mean(delays_ms),
+            "median": median,
+            "p95": p95,
+            "max": max(delays_ms),
+            "spread": p95 / median if median else 0.0,
+            "spike_fraction": spikes / len(delays_ms) if delays_ms else 0.0,
+        }
+        lines.append(
+            f"{protocol:>6}: {len(delays_ms)} blocks, mean {stats[protocol]['mean']:.0f}ms, "
+            f"median {median:.0f}ms, p95 {p95:.0f}ms, max {stats[protocol]['max']:.0f}ms, "
+            f"p95/median {stats[protocol]['spread']:.2f}, "
+            f">2x-median spikes {stats[protocol]['spike_fraction']:.1%}"
+        )
+    lines.append(
+        f"paper: MPTCP max ≈ {FIG7_MPTCP_MAX_OVER_MEAN:.0f}x its mean; FMTCP flat "
+        f"(ours: MPTCP max/mean {stats['mptcp']['max'] / stats['mptcp']['mean']:.1f}x, "
+        f"FMTCP p95/median {stats['fmtcp']['spread']:.2f})"
+    )
+
+    assert stats["mptcp"]["spread"] > 1.5 * stats["fmtcp"]["spread"]
+    assert stats["mptcp"]["spike_fraction"] > stats["fmtcp"]["spike_fraction"]
+    assert stats["fmtcp"]["spread"] < 2.0
+    report("fig7_block_delay_series", lines)

@@ -1,0 +1,35 @@
+"""Loss × buffer advantage heatmap (extension).
+
+Grids the two levers that arm FMTCP's advantage — subflow-2 loss and the
+receive-buffer budget — and renders the goodput ratio map. The structure
+it exposes: the advantage peaks where the buffer is comparable to the
+bandwidth-delay product (head-of-line blocking binds for MPTCP while
+FMTCP still has pipeline room) and grows with loss at every buffer size.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_duration
+from repro.experiments.heatmap import run_heatmap
+
+
+def test_loss_buffer_heatmap(benchmark, report):
+    duration = min(bench_duration(), 30.0)
+    result = benchmark.pedantic(
+        lambda: run_heatmap(duration_s=duration), rounds=1, iterations=1
+    )
+    lines = result.render()
+
+    # At the HoL-binding buffer (16 blocks = 128 KB ≈ BDP), the advantage
+    # must grow with loss.
+    middle = result.pending_blocks[1]
+    column = [result.ratios[(loss, middle)] for loss in result.loss_rates]
+    assert column[-1] > column[0]
+    assert column[-1] > 1.3
+    # Low-loss row never shows a dramatic FMTCP win (nothing to repair).
+    low_loss_row = [
+        result.ratios[(result.loss_rates[0], blocks)]
+        for blocks in result.pending_blocks
+    ]
+    assert max(low_loss_row) < 1.4
+    report("heatmap_loss_buffer", lines)

@@ -1,0 +1,65 @@
+"""Section I's motivation, quantified: MPTCP vs conventional TCP.
+
+The paper opens with two claims: (1) "the throughput of MPTCP can be even
+worse than an ordinary TCP in some cases, and MPTCP is sensitive to the
+path quality"; (2) ideally multipath should aggregate. This benchmark
+runs conventional TCP (on the best path), IETF-MPTCP and FMTCP across the
+Table I loss ramp and checks both claims plus FMTCP's repair of the first.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_duration
+from repro.experiments.runner import run_transfer
+from repro.workloads.scenarios import TABLE1_CASES, table1_path_configs
+
+
+def test_motivation_mptcp_vs_single_tcp(benchmark, report):
+    duration = min(bench_duration(), 30.0)
+    cases = [TABLE1_CASES[0], TABLE1_CASES[2], TABLE1_CASES[3]]
+
+    def run():
+        results = {}
+        for case in cases:
+            results[case.case_id] = {
+                protocol: run_transfer(
+                    protocol,
+                    table1_path_configs(case),
+                    duration_s=duration,
+                    seed=1,
+                )
+                for protocol in ("tcp", "mptcp", "fmtcp")
+            }
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "goodput (MB/s): conventional TCP (best path) vs MPTCP vs FMTCP",
+        f"{'case':>6} {'TCP':>8} {'MPTCP':>8} {'FMTCP':>8}",
+    ]
+    rates = {}
+    for case_id, by_protocol in results.items():
+        rates[case_id] = {
+            protocol: result.summary["goodput_mbytes_per_s"]
+            for protocol, result in by_protocol.items()
+        }
+        lines.append(
+            f"{case_id:>6} {rates[case_id]['tcp']:>8.3f} "
+            f"{rates[case_id]['mptcp']:>8.3f} {rates[case_id]['fmtcp']:>8.3f}"
+        )
+
+    worst = rates[4]
+    # Paper Section I: "the throughput of MPTCP can be even worse than an
+    # ordinary TCP in some cases" — case 4 demonstrates it.
+    assert worst["mptcp"] < worst["tcp"]
+    lines.append(
+        f"case 4: MPTCP at {worst['mptcp'] / worst['tcp']:.0%} of single-path "
+        f"TCP — the paper's opening pathology"
+    )
+    # FMTCP repairs it: never materially below the best single path...
+    for case_id, case_rates in rates.items():
+        assert case_rates["fmtcp"] > 0.85 * case_rates["tcp"], case_id
+    # ...and aggregates above it when the second path is usable.
+    best = rates[1]
+    assert best["fmtcp"] > best["tcp"]
+    report("motivation_tcp_vs_multipath", lines)

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The fountain codec by itself: encode a file, decode through an erasure
+channel, and measure the overhead Eq. (7) promises.
+
+Demonstrates both codecs in :mod:`repro.fountain`:
+
+* the random-linear code FMTCP uses (dense coefficients, Gaussian
+  elimination, ~1.6 expected extra symbols for any block size), and
+* LT codes with the robust Soliton distribution (sparse, linear-time
+  peeling decode, a few percent overhead).
+
+Run:  python examples/fountain_codec_demo.py
+"""
+
+import random
+import time
+
+from repro.fountain import (
+    BlockDecoder,
+    BlockEncoder,
+    LtDecoder,
+    LtEncoder,
+    expected_overhead_symbols,
+)
+
+
+def transmit_random_linear(data: bytes, k: int, part_size: int, loss: float, rng):
+    """Send symbols through a Bernoulli erasure channel until decode."""
+    encoder = BlockEncoder(data, k=k, part_size=part_size, rng=rng)
+    decoder = BlockDecoder(k=k, part_size=part_size, data_length=len(data))
+    sent = 0
+    while not decoder.is_complete:
+        symbol = encoder.next_symbol()
+        sent += 1
+        if rng.random() >= loss:
+            decoder.add_symbol(symbol)
+    return decoder.decode(), sent
+
+
+def transmit_lt(data: bytes, k: int, part_size: int, loss: float, rng):
+    encoder = LtEncoder(data, k=k, part_size=part_size, rng=rng)
+    decoder = LtDecoder(k=k, part_size=part_size, data_length=len(data))
+    sent = 0
+    while not decoder.is_complete:
+        symbol = encoder.next_symbol()
+        sent += 1
+        if rng.random() >= loss:
+            decoder.add_symbol(symbol)
+        if sent % 64 == 0:
+            decoder.try_ge_completion()
+    return decoder.decode(), sent
+
+
+def main() -> None:
+    rng = random.Random(42)
+    k, part_size = 256, 32
+    block = bytes(rng.getrandbits(8) for __ in range(k * part_size))
+    print(f"Block: {len(block)} bytes as {k} parts of {part_size} bytes\n")
+
+    print("Random-linear fountain (the paper's Eq. (1) code):")
+    for loss in (0.0, 0.1, 0.3):
+        t0 = time.perf_counter()
+        recovered, sent = transmit_random_linear(block, k, part_size, loss, rng)
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        assert recovered == block, "decode mismatch!"
+        ideal = k / (1.0 - loss)
+        print(
+            f"  loss {loss:>4.0%}: {sent} symbols sent "
+            f"(ideal {ideal:.0f}, overhead {sent / ideal - 1:+.1%}), "
+            f"decoded correctly in {elapsed_ms:.1f} ms"
+        )
+    print(
+        f"  theory: expected extra symbols at the decoder = "
+        f"{expected_overhead_symbols(k):.2f} (≈1.6 for any large k)\n"
+    )
+
+    print("LT code with robust Soliton degrees (sparse extension):")
+    for loss in (0.0, 0.1):
+        recovered, sent = transmit_lt(block, k, part_size, loss, rng)
+        assert recovered == block, "decode mismatch!"
+        ideal = k / (1.0 - loss)
+        print(
+            f"  loss {loss:>4.0%}: {sent} symbols sent "
+            f"(ideal {ideal:.0f}, overhead {sent / ideal - 1:+.1%})"
+        )
+
+    print("\nWhy FMTCP can skip retransmissions: any fresh random symbol is")
+    print("as good as the one that was lost — the sender only needs to keep")
+    print("the receiver's expected rank above k̂ + log2(1/δ̂).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""All four transports, one scenario: the repository's full cast.
+
+Runs conventional TCP (best single path), IETF-MPTCP, fixed-rate FEC
+multipath, and FMTCP over the same heterogeneous path pair — first under
+steady loss (Table I case 4), then through a total blackout of the lossy
+path — and prints a side-by-side comparison. This is the paper's whole
+argument in one screen:
+
+* MPTCP falls below single-path TCP when one path is bad (Section I);
+* fixed-rate coding is competitive on stationary loss but pins repairs
+  to the original path and stalls when that path dies (Section III-B);
+* FMTCP matches the best of both and keeps flowing through the blackout.
+
+Run:  python examples/four_transports.py
+"""
+
+from repro import run_transfer, table1_path_configs, TABLE1_CASES
+from repro.metrics.stats import mean
+from repro.net.loss import ScheduledLoss
+from repro.net.topology import PathConfig
+
+PROTOCOL_LABELS = {
+    "tcp": "TCP (best path)",
+    "mptcp": "IETF-MPTCP",
+    "fixedrate": "fixed-rate FEC",
+    "fmtcp": "FMTCP",
+}
+
+
+def blackout_paths():
+    return [
+        PathConfig(bandwidth_bps=4e6, delay_s=0.050, loss_rate=0.0),
+        PathConfig(
+            bandwidth_bps=4e6,
+            delay_s=0.050,
+            loss_model=ScheduledLoss([(0.0, 0.0), (10.0, 0.99), (20.0, 0.0)]),
+        ),
+    ]
+
+
+def main() -> None:
+    case = TABLE1_CASES[3]
+    duration = 30.0
+    print(f"Scenario A — steady heterogeneity ({case.label()}), {duration:.0f}s:\n")
+    print(f"{'transport':<18}{'goodput MB/s':>14}{'block delay ms':>16}{'jitter ms':>11}")
+    for protocol in ("tcp", "mptcp", "fixedrate", "fmtcp"):
+        result = run_transfer(
+            protocol, table1_path_configs(case), duration_s=duration, seed=13
+        )
+        print(
+            f"{PROTOCOL_LABELS[protocol]:<18}"
+            f"{result.summary['goodput_mbytes_per_s']:>14.3f}"
+            f"{result.mean_block_delay_ms:>16.0f}"
+            f"{result.jitter_ms:>11.1f}"
+        )
+
+    print("\nScenario B — path 2 blacks out during [10, 20)s of a 40s run.")
+    print("Goodput rate (MB/s) inside the blackout window [13, 20)s:\n")
+    for protocol in ("tcp", "mptcp", "fixedrate", "fmtcp"):
+        result = run_transfer(
+            protocol,
+            blackout_paths(),
+            duration_s=40.0,
+            seed=13,
+            collect_series=True,
+        )
+        inside = mean(
+            [rate for t, rate in result.goodput_series if 13.0 <= t < 20.0]
+        )
+        total = result.summary["total_mbytes"]
+        bar = "█" * int(inside * 40)
+        print(
+            f"{PROTOCOL_LABELS[protocol]:<18}{inside:>7.3f}  {bar:<20} "
+            f"(total {total:.1f} MB)"
+        )
+
+    print(
+        "\nFMTCP is the only multipath transport that keeps delivering while a"
+        "\npath is dead: fresh fountain symbols ride whichever path is alive."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Record a simulation trace to JSONL and analyse it offline.
+
+Every element of the substrate publishes structured events on the trace
+bus; :class:`~repro.sim.tracefile.TraceFileWriter` persists them like an
+ns-2 trace file. This example records an FMTCP transfer over a lossy
+pair, then post-processes the file with nothing but the JSON — computing
+goodput, per-subflow loss and the block-delay distribution exactly as an
+external analysis pipeline would.
+
+Run:  python examples/trace_analysis.py
+"""
+
+import collections
+import tempfile
+from pathlib import Path
+
+from repro import BulkSource, FmtcpConfig, FmtcpConnection, PathConfig
+from repro.metrics.stats import mean, percentile
+from repro.net.topology import build_two_path_network
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceBus
+from repro.sim.tracefile import TraceFileWriter, read_trace_file
+
+DURATION_S = 20.0
+
+
+def record(trace_path: str) -> None:
+    trace = TraceBus()
+    network, paths = build_two_path_network(
+        [
+            PathConfig(bandwidth_bps=4e6, delay_s=0.040, loss_rate=0.0),
+            PathConfig(bandwidth_bps=4e6, delay_s=0.040, loss_rate=0.10),
+        ],
+        rng=RngStreams(17),
+        trace=trace,
+    )
+    connection = FmtcpConnection(
+        network.sim, paths, BulkSource(), config=FmtcpConfig(), trace=trace,
+        rng=RngStreams(17),
+    )
+    kinds = ["conn.delivered", "conn.block_done", "subflow.send", "subflow.loss"]
+    with TraceFileWriter(trace, trace_path, kinds=kinds) as writer:
+        connection.start()
+        network.sim.run(until=DURATION_S)
+        print(
+            f"Recorded {writer.records_written} events over {DURATION_S:.0f}s "
+            f"of simulated time -> {trace_path}"
+        )
+
+
+def analyse(trace_path: str) -> None:
+    records = read_trace_file(trace_path)
+    by_kind = collections.defaultdict(list)
+    for record in records:
+        by_kind[record["kind"]].append(record)
+
+    delivered_bytes = sum(record["bytes"] for record in by_kind["conn.delivered"])
+    print(f"\nGoodput: {delivered_bytes / DURATION_S / 1e6:.3f} MB/s "
+          f"({delivered_bytes / 1e6:.2f} MB total)")
+
+    sends = collections.Counter(r["subflow"] for r in by_kind["subflow.send"])
+    losses = collections.Counter(r["subflow"] for r in by_kind["subflow.loss"])
+    print("\nPer-subflow accounting (from subflow.send / subflow.loss events):")
+    for subflow_id in sorted(sends):
+        sent = sends[subflow_id]
+        lost = losses.get(subflow_id, 0)
+        print(
+            f"  subflow {subflow_id}: {sent} packets sent, {lost} declared lost "
+            f"({lost / sent:.1%})"
+        )
+
+    delays_ms = [record["delay"] * 1e3 for record in by_kind["conn.block_done"]]
+    print(
+        f"\nBlock delivery delay over {len(delays_ms)} blocks: "
+        f"mean {mean(delays_ms):.0f} ms, p50 {percentile(delays_ms, 50):.0f} ms, "
+        f"p95 {percentile(delays_ms, 95):.0f} ms, max {max(delays_ms):.0f} ms"
+    )
+
+    loss_times = [record["t"] for record in by_kind["subflow.loss"]]
+    if loss_times:
+        gaps = [b - a for a, b in zip(loss_times, loss_times[1:])]
+        print(
+            f"\nLoss events: {len(loss_times)}; mean inter-loss gap "
+            f"{mean(gaps):.3f} s (allocator keeps traffic off the bad path,"
+            f" so losses are rarer than the raw 10% link rate suggests)"
+        )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = str(Path(tmp) / "fmtcp_run.jsonl")
+        record(trace_path)
+        analyse(trace_path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,147 @@
+"""FMTCP configuration.
+
+Defaults follow DESIGN.md §3.4: 64 symbols of 128 bytes per block (8 KiB
+blocks), 1400-byte MSS (10 symbols per packet with headers), and a
+maximum acceptable decoding-failure probability δ̂ = 10⁻³, i.e. a block is
+predicted complete once its expected independent-symbol count k̃ reaches
+k̂ + log₂(1/δ̂) ≈ k̂ + 10 (Definition 4 and the paper's completeness
+condition).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class FmtcpConfig:
+    """Tunables of the FMTCP sender/receiver pair."""
+
+    # Block geometry (paper Section III-B chooses k̂ to balance coding
+    # complexity, MSS fit and buffer size).
+    symbols_per_block: int = 256
+    symbol_size: int = 32
+    # Per-symbol wire overhead. Symbols travel in per-block groups whose
+    # header (block id, PRNG seed, base symbol id) is amortised across the
+    # group, so the marginal cost per symbol is small.
+    symbol_header_bytes: int = 2
+    mss: int = 1400
+
+    # δ̂: maximum acceptable decoding failure probability (Definition 4).
+    delta_hat: float = 1e-3
+
+    # Sender-side concurrency: number of blocks simultaneously pending.
+    # Bounds receiver buffer occupancy to max_pending_blocks blocks
+    # (Section III-B's buffer-size constraint on k̂).
+    max_pending_blocks: int = 16
+
+    # "statistical" samples exact decoder-rank evolution (fast, default);
+    # "real" runs the byte-level GF(2) codec end to end.
+    coding: str = "statistical"
+
+    # Systematic encoding (source parts first, coded repair after) — the
+    # deployed-fountain flavour; requires the real codec because the
+    # statistical rank model assumes uniformly random coefficient rows.
+    systematic: bool = False
+
+    # Which fountain code encodes blocks: "rlc" is the paper's dense
+    # random-linear code; "lt" swaps in LT coding with the robust Soliton
+    # distribution (sparse symbols, linear-time peeling decode, a few
+    # percent more overhead). "lt" requires coding="real".
+    code: str = "rlc"
+
+    # "eat" runs Algorithm 1 (the paper's allocator); "greedy" is the
+    # Section IV-B strawman; "stopwait" mimics HMTP (related work [21]):
+    # every subflow keeps sending symbols of the *first* undecoded block
+    # until the receiver's decode confirmation arrives — the inefficient
+    # stop-and-wait behaviour the paper's prediction mechanism replaces.
+    allocation: str = "eat"
+
+    # Subflow machinery.
+    congestion: str = "reno"
+    initial_cwnd: float = 2.0
+    dup_ack_threshold: int = 3
+    min_rto: float = 0.2
+
+    # Loss-estimator floor: EDT/RT computations assume some residual loss
+    # so a momentarily clean path is not treated as perfectly reliable.
+    loss_estimate_floor: float = 0.0
+
+    # Idle-path probing. The EAT allocator stops scheduling symbols on a
+    # path it estimates as terrible — but the loss estimate can only
+    # improve by *sending*, so a path that died and recovered would stay
+    # quarantined forever. A subflow idle longer than this (with window
+    # space and nothing outstanding) is given one greedily-filled packet
+    # of fresh symbols as a probe. None disables probing.
+    probe_interval_s: Optional[float] = 1.0
+
+    # Estimator aging: halve a subflow's loss estimate for every this many
+    # seconds without an observed loss. Disabled by default — time-based
+    # forgiveness makes the allocator oscillate between trusting and
+    # distrusting a persistently lossy path; probe *chains* (below) are
+    # the default rehabilitation mechanism instead.
+    loss_estimate_half_life_s: Optional[float] = None
+
+    # Adaptive completeness margin (extension, off by default): instead of
+    # a fixed log2(1/δ̂), the sender tunes its head-room from observed
+    # prediction misses — blocks that went quiescent (nothing in flight)
+    # while still short of k̂ and needed a feedback-driven top-up. Miss
+    # rates above the target raise the margin; a miss-free window lowers
+    # it toward the floor.
+    adaptive_margin: bool = False
+    adaptive_margin_target_miss: float = 0.02
+    adaptive_margin_window: int = 50
+    adaptive_margin_floor: float = 3.0
+    adaptive_margin_ceiling: float = 30.0
+
+    # Probe chaining: when a probe on a quarantined path (aged loss
+    # estimate above this threshold) is acknowledged, the next probe may
+    # follow immediately instead of waiting out probe_interval_s — so a
+    # healed path re-earns trust in seconds, one EWMA sample per RTT.
+    probe_chain_threshold: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.symbols_per_block < 1:
+            raise ValueError("symbols_per_block must be >= 1")
+        if self.symbol_size < 1:
+            raise ValueError("symbol_size must be >= 1")
+        if not 0.0 < self.delta_hat < 1.0:
+            raise ValueError("delta_hat must be in (0, 1)")
+        if self.coding not in ("statistical", "real"):
+            raise ValueError(f"unknown coding mode {self.coding!r}")
+        if self.allocation not in ("eat", "greedy", "stopwait"):
+            raise ValueError(f"unknown allocation mode {self.allocation!r}")
+        if self.systematic and self.coding != "real":
+            raise ValueError('systematic encoding requires coding="real"')
+        if self.code not in ("rlc", "lt"):
+            raise ValueError(f"unknown fountain code {self.code!r}")
+        if self.code == "lt" and self.coding != "real":
+            raise ValueError('LT coding requires coding="real"')
+        if self.code == "lt" and self.systematic:
+            raise ValueError("systematic mode applies to the RLC code only")
+        if self.symbol_wire_size > self.mss:
+            raise ValueError(
+                f"one symbol ({self.symbol_wire_size}B on the wire) must fit "
+                f"in the MSS ({self.mss}B)"
+            )
+
+    @property
+    def block_bytes(self) -> int:
+        """Application bytes carried by one full block."""
+        return self.symbols_per_block * self.symbol_size
+
+    @property
+    def symbol_wire_size(self) -> int:
+        return self.symbol_size + self.symbol_header_bytes
+
+    @property
+    def symbols_per_packet(self) -> int:
+        """How many symbols Eq. (9)'s MSS constraint admits per packet."""
+        return max(1, self.mss // self.symbol_wire_size)
+
+    @property
+    def completeness_margin(self) -> float:
+        """log₂(1/δ̂): extra expected symbols needed beyond k̂."""
+        return math.log2(1.0 / self.delta_hat)

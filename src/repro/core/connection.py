@@ -1,0 +1,125 @@
+"""FMTCP connection facade: wires sender, receiver and subflows together.
+
+Mirrors :class:`repro.mptcp.connection.MptcpConnection` so experiments can
+swap protocols behind one interface (``start`` / ``pump`` / ``close`` plus
+shared trace vocabulary: ``conn.delivered`` and ``conn.block_done``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.blocks import BlockManager
+from repro.core.config import FmtcpConfig
+from repro.core.receiver import FmtcpReceiver
+from repro.core.sender import FmtcpSender
+from repro.net.topology import Path
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceBus
+from repro.tcp.congestion import LiaGroup, make_controller
+from repro.tcp.rto import RtoEstimator
+from repro.tcp.subflow import Subflow, SubflowSink
+
+
+class FmtcpConnection:
+    """One FMTCP transfer across a set of network paths."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        paths: Sequence[Path],
+        source,
+        config: Optional[FmtcpConfig] = None,
+        trace: Optional[TraceBus] = None,
+        rng: Optional[RngStreams] = None,
+        sink: Optional[Callable[[int, Optional[bytes]], None]] = None,
+    ):
+        if not paths:
+            raise ValueError("need at least one path")
+        self.sim = sim
+        self.config = config or FmtcpConfig()
+        rng = rng or RngStreams(0)
+
+        self.block_manager = BlockManager(
+            self.config, source, rng=rng.get("fmtcp:encoder")
+        )
+        self.sender = FmtcpSender(sim, self.config, self.block_manager, trace=trace)
+        self.receiver = FmtcpReceiver(
+            sim, self.config, trace=trace, rng=rng.get("fmtcp:rank"), sink=sink
+        )
+
+        self.subflows: List[Subflow] = []
+        self._sinks: List[SubflowSink] = []
+        lia_group = LiaGroup() if self.config.congestion == "lia" else None
+        for index, path in enumerate(paths):
+            controller = make_controller(
+                self.config.congestion,
+                lia_group=lia_group,
+                rtt_provider=(lambda i=index: self.subflows[i].srtt),
+                initial_cwnd=self.config.initial_cwnd,
+            )
+            subflow = Subflow(
+                sim=sim,
+                path=path,
+                owner=self.sender,
+                subflow_id=index,
+                congestion=controller,
+                rto=RtoEstimator(min_rto=self.config.min_rto),
+                mss=self.config.mss,
+                dup_ack_threshold=self.config.dup_ack_threshold,
+                trace=trace,
+            )
+            self.subflows.append(subflow)
+            self._sinks.append(
+                SubflowSink(
+                    sim=sim,
+                    path=path,
+                    subflow=subflow,
+                    on_segment=self.receiver.on_segment,
+                    feedback_provider=lambda sf_id, segment: self.receiver.feedback(),
+                    trace=trace,
+                )
+            )
+        self.sender.attach_subflows(self.subflows)
+
+    # ------------------------------------------------------------------
+    # Lifecycle (same surface as MptcpConnection).
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.pump()
+
+    def pump(self) -> None:
+        self.sender.pump_all()
+
+    def close(self) -> None:
+        for subflow in self.subflows:
+            subflow.close()
+        for sink in self._sinks:
+            sink.close()
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def delivered_bytes(self) -> int:
+        return self.receiver.delivered_bytes
+
+    @property
+    def delivered_blocks(self) -> int:
+        return self.receiver.delivered_blocks
+
+    def redundancy_ratio(self) -> float:
+        """Symbols sent per symbol strictly needed (coding + loss overhead)."""
+        needed = sum(
+            self.config.symbols_per_block for __ in range(self.receiver.blocks_decoded)
+        )
+        if needed == 0:
+            return 0.0
+        return self.sender.symbols_sent / needed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FmtcpConnection subflows={len(self.subflows)} "
+            f"delivered_blocks={self.delivered_blocks}>"
+        )

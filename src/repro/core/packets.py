@@ -1,0 +1,94 @@
+"""FMTCP wire formats.
+
+A data packet carries groups of encoded symbols, one group per block (the
+packet description vector V of Section IV-A: v_j symbols of block b_j).
+The ACK feedback object carries the receiver's per-block independent
+symbol counts k̄_b plus the decoded frontier, which is all the sender
+needs for Eq. (8) and for the block-delivery-delay metric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fountain.codec import Symbol
+
+
+class SymbolGroup:
+    """``count`` symbols of one block inside a data packet.
+
+    ``block_k``/``block_bytes`` ride along so the receiver can instantiate
+    a decoder for a block it has never heard of (symbols may arrive on any
+    subflow in any order). In ``real`` coding mode ``symbols`` holds the
+    actual coefficient/data pairs; in statistical mode it is ``None``.
+    """
+
+    __slots__ = ("block_id", "count", "block_k", "block_bytes", "symbols")
+
+    def __init__(
+        self,
+        block_id: int,
+        count: int,
+        block_k: int,
+        block_bytes: int,
+        symbols: Optional[List[Symbol]] = None,
+    ):
+        if count < 1:
+            raise ValueError("a symbol group must carry at least one symbol")
+        if symbols is not None and len(symbols) != count:
+            raise ValueError("symbol list does not match declared count")
+        self.block_id = block_id
+        self.count = count
+        self.block_k = block_k
+        self.block_bytes = block_bytes
+        self.symbols = symbols
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SymbolGroup block={self.block_id} count={self.count}>"
+
+
+class FmtcpSegmentPayload:
+    """The transport payload of one FMTCP data packet."""
+
+    __slots__ = ("groups",)
+
+    def __init__(self, groups: Sequence[SymbolGroup]):
+        if not groups:
+            raise ValueError("an FMTCP packet must carry at least one symbol group")
+        self.groups: Tuple[SymbolGroup, ...] = tuple(groups)
+
+    def total_symbols(self) -> int:
+        return sum(group.count for group in self.groups)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(repr(group) for group in self.groups)
+        return f"<FmtcpPayload [{inner}]>"
+
+
+class FmtcpFeedback:
+    """Receiver state piggybacked on every subflow ACK.
+
+    * ``k_bar`` — independent symbols held per still-undecoded block
+      (the paper's k̄_b, "carried in an ACK and transmitted to the sender").
+    * ``decoded_in_order`` — number of blocks decoded *and* deliverable in
+      sequence (the decode frontier).
+    * ``decoded_out_of_order`` — ids of decoded blocks beyond the frontier.
+    """
+
+    __slots__ = ("k_bar", "decoded_in_order", "decoded_out_of_order")
+
+    def __init__(
+        self,
+        k_bar: Dict[int, int],
+        decoded_in_order: int,
+        decoded_out_of_order: Tuple[int, ...] = (),
+    ):
+        self.k_bar = k_bar
+        self.decoded_in_order = decoded_in_order
+        self.decoded_out_of_order = decoded_out_of_order
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FmtcpFeedback frontier={self.decoded_in_order} "
+            f"k_bar={self.k_bar}>"
+        )

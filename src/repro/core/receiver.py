@@ -1,0 +1,231 @@
+"""The FMTCP receiver.
+
+Aggregates encoded symbols arriving on any subflow, tracks per-block
+decoder rank (k̄_b), reports it on every ACK, and releases decoded blocks
+to the application in stream order. In ``real`` coding mode the decoder
+is the byte-level GF(2) codec; in the default ``statistical`` mode it is
+the exact rank-evolution model (DESIGN.md §3.2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.core.config import FmtcpConfig
+from repro.core.packets import FmtcpFeedback, FmtcpSegmentPayload
+from repro.fountain.codec import BlockDecoder
+from repro.fountain.lt import LtDecoder
+from repro.fountain.rank_model import RankEvolutionModel
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceBus
+
+class LtDecoderAdapter:
+    """Adapts :class:`~repro.fountain.lt.LtDecoder` to the receiver's
+    decoder interface (``independent_symbols``/``is_complete``/``decode``).
+
+    ``independent_symbols`` reports recovered source parts — a lower bound
+    on rank — so the sender's δ̂-completeness gate is conservative under LT
+    coding and the feedback loop supplies the tail; the GE fallback is
+    tried periodically so dense residuals do not stall peeling.
+    """
+
+    GE_ATTEMPT_EVERY = 16
+
+    def __init__(self, k: int, part_size: int, data_length: int):
+        self._inner = LtDecoder(k=k, part_size=part_size, data_length=data_length)
+        self.symbols_received = 0
+
+    @property
+    def independent_symbols(self) -> int:
+        return self._inner.recovered_parts
+
+    @property
+    def is_complete(self) -> bool:
+        return self._inner.is_complete
+
+    def add_symbol(self, symbol) -> bool:
+        before = self._inner.recovered_parts
+        self._inner.add_symbol(symbol)
+        self.symbols_received += 1
+        if (
+            not self._inner.is_complete
+            and self.symbols_received % self.GE_ATTEMPT_EVERY == 0
+        ):
+            self._inner.try_ge_completion()
+        return self._inner.recovered_parts > before
+
+    def decode(self) -> bytes:
+        return self._inner.decode()
+
+
+Decoder = Union[BlockDecoder, RankEvolutionModel, LtDecoderAdapter]
+
+
+class _ActiveBlock:
+    """Receiver-side state for a block still being decoded."""
+
+    __slots__ = ("decoder", "block_bytes", "first_symbol_at")
+
+    def __init__(self, decoder: Decoder, block_bytes: int, first_symbol_at: float):
+        self.decoder = decoder
+        self.block_bytes = block_bytes
+        self.first_symbol_at = first_symbol_at
+
+
+class FmtcpReceiver:
+    """Receiver half of an FMTCP connection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: FmtcpConfig,
+        trace: Optional[TraceBus] = None,
+        rng: Optional[random.Random] = None,
+        sink: Optional[Callable[[int, Optional[bytes]], None]] = None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.trace = trace
+        self._rng = rng or random.Random()
+        self.sink = sink
+
+        self._active: Dict[int, _ActiveBlock] = {}
+        # Decoded but not yet deliverable in order: block_id -> (bytes, data)
+        self._decoded_waiting: Dict[int, Tuple[int, Optional[bytes]]] = {}
+        self._deliver_next = 0  # next block id owed to the application
+        self._decode_frontier = 0  # all blocks below this are decoded
+
+        self.symbols_received = 0
+        self.symbols_redundant = 0
+        self.blocks_decoded = 0
+        self.delivered_bytes = 0
+        self.decode_times: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Data path.
+    # ------------------------------------------------------------------
+    def on_segment(self, subflow_id: int, segment) -> None:
+        payload: FmtcpSegmentPayload = segment.payload
+        for group in payload.groups:
+            self._absorb_group(group)
+
+    def _absorb_group(self, group) -> None:
+        if self._is_decoded(group.block_id):
+            self.symbols_received += group.count
+            self.symbols_redundant += group.count
+            return
+        active = self._active.get(group.block_id)
+        if active is None:
+            active = _ActiveBlock(
+                decoder=self._make_decoder(group),
+                block_bytes=group.block_bytes,
+                first_symbol_at=self.sim.now,
+            )
+            self._active[group.block_id] = active
+        decoder = active.decoder
+        if group.symbols is not None:
+            for symbol in group.symbols:
+                if not decoder.add_symbol(symbol):
+                    self.symbols_redundant += 1
+                self.symbols_received += 1
+        else:
+            for __ in range(group.count):
+                if not decoder.add_symbol():
+                    self.symbols_redundant += 1
+                self.symbols_received += 1
+        if decoder.is_complete:
+            self._finish_block(group.block_id, active)
+
+    def _make_decoder(self, group) -> Decoder:
+        if self.config.coding == "real":
+            if self.config.code == "lt":
+                return LtDecoderAdapter(
+                    k=group.block_k,
+                    part_size=self.config.symbol_size,
+                    data_length=group.block_bytes,
+                )
+            return BlockDecoder(
+                k=group.block_k,
+                part_size=self.config.symbol_size,
+                data_length=group.block_bytes,
+            )
+        return RankEvolutionModel(group.block_k, rng=self._rng)
+
+    def _finish_block(self, block_id: int, active: _ActiveBlock) -> None:
+        del self._active[block_id]
+        self.blocks_decoded += 1
+        self.decode_times[block_id] = self.sim.now
+        data = None
+        if isinstance(active.decoder, (BlockDecoder, LtDecoderAdapter)):
+            data = active.decoder.decode()
+        if self.trace is not None and self.trace.has_subscribers("fmtcp.block_decoded"):
+            self.trace.emit(
+                self.sim.now,
+                "fmtcp.block_decoded",
+                block_id=block_id,
+                wait=self.sim.now - active.first_symbol_at,
+            )
+        self._decoded_waiting[block_id] = (active.block_bytes, data)
+        while self._decode_frontier in self._decoded_waiting or (
+            self._decode_frontier < self._deliver_next
+        ):
+            self._decode_frontier += 1
+        self._deliver_in_order()
+
+    def _deliver_in_order(self) -> None:
+        while self._deliver_next in self._decoded_waiting:
+            block_bytes, data = self._decoded_waiting.pop(self._deliver_next)
+            self.delivered_bytes += block_bytes
+            if self.sink is not None:
+                self.sink(self._deliver_next, data)
+            if self.trace is not None and self.trace.has_subscribers("conn.delivered"):
+                self.trace.emit(
+                    self.sim.now,
+                    "conn.delivered",
+                    bytes=block_bytes,
+                    block_id=self._deliver_next,
+                )
+            self._deliver_next += 1
+        if self._decode_frontier < self._deliver_next:
+            self._decode_frontier = self._deliver_next
+
+    def _is_decoded(self, block_id: int) -> bool:
+        return block_id < self._deliver_next or block_id in self._decoded_waiting
+
+    # ------------------------------------------------------------------
+    # Feedback for ACK piggybacking (Eq. 8's k̄ channel).
+    # ------------------------------------------------------------------
+    def feedback(self) -> FmtcpFeedback:
+        k_bar = {
+            block_id: active.decoder.independent_symbols
+            for block_id, active in self._active.items()
+        }
+        decoded_out_of_order = tuple(
+            block_id
+            for block_id in self._decoded_waiting
+            if block_id >= self._decode_frontier
+        )
+        return FmtcpFeedback(
+            k_bar=k_bar,
+            decoded_in_order=self._decode_frontier,
+            decoded_out_of_order=decoded_out_of_order,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def buffered_blocks(self) -> int:
+        """Blocks currently occupying the receive buffer."""
+        return len(self._active) + len(self._decoded_waiting)
+
+    @property
+    def delivered_blocks(self) -> int:
+        return self._deliver_next
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FmtcpReceiver delivered={self._deliver_next} "
+            f"active={len(self._active)} waiting={len(self._decoded_waiting)}>"
+        )

@@ -1,0 +1,275 @@
+"""The FMTCP sender.
+
+Owns the TCP subflows (it is their :class:`~repro.tcp.subflow.SubflowOwner`)
+and turns every transmission opportunity into a packet of freshly encoded
+symbols chosen by Algorithm 1. Loss handling is the paper's headline
+behaviour: a lost packet's symbols are simply subtracted from the
+in-flight counts l_b^f, which lowers k̃_b, re-raises the block's expected
+decoding-failure probability, and lets the allocator route *new* symbols
+over whichever subflow is expected to arrive first — no retransmission,
+no inter-path coordination.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.core.allocation import (
+    AllocationResult,
+    allocate_packet,
+    allocate_packet_greedy,
+)
+from repro.core.blocks import BlockManager
+from repro.core.config import FmtcpConfig
+from repro.core.estimators import PathEstimate
+from repro.core.packets import FmtcpFeedback, FmtcpSegmentPayload, SymbolGroup
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceBus
+from repro.tcp.subflow import Subflow, SubflowOwner, SubflowPacketInfo
+
+# Estimated loss rates are clamped below 1 so expected-gain and EDT/RT
+# formulas stay finite even while an estimator transiently reads ~100 %.
+_MAX_LOSS = 0.95
+
+
+class FmtcpSender(SubflowOwner):
+    """Sender half of an FMTCP connection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: FmtcpConfig,
+        block_manager: BlockManager,
+        trace: Optional[TraceBus] = None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.blocks = block_manager
+        self.trace = trace
+        self.subflows: List[Subflow] = []
+        self._decoded_frontier_seen = 0
+        self._decoded_out_of_order_seen: set = set()
+        # Adaptive completeness margin state (extension; see FmtcpConfig).
+        self.margin = config.completeness_margin
+        self._miss_count = 0
+        self._window_completed = 0
+        # Statistics.
+        self.packets_built = 0
+        self.symbols_sent = 0
+        self.symbols_lost = 0
+        self.allocation_iterations = 0
+        self.probes_sent = 0
+
+    def attach_subflows(self, subflows: Sequence[Subflow]) -> None:
+        """Register the subflows this sender drives (done by the connection)."""
+        self.subflows = list(subflows)
+
+    # ------------------------------------------------------------------
+    # Path-quality snapshots for the allocator.
+    # ------------------------------------------------------------------
+    def loss_rate_of(self, subflow_id: int) -> float:
+        subflow = self.subflows[subflow_id]
+        aged = subflow.aged_loss_estimate(self.config.loss_estimate_half_life_s)
+        estimate = max(aged, self.config.loss_estimate_floor)
+        return min(estimate, _MAX_LOSS)
+
+    def path_estimates(self) -> List[PathEstimate]:
+        return [
+            PathEstimate(
+                subflow_id=subflow.subflow_id,
+                rtt=subflow.srtt,
+                rto=subflow.rto_value,
+                loss=self.loss_rate_of(subflow.subflow_id),
+                window_space=subflow.window_space,
+                tau=subflow.tau,
+            )
+            for subflow in self.subflows
+        ]
+
+    # ------------------------------------------------------------------
+    # SubflowOwner: supply packets.
+    # ------------------------------------------------------------------
+    def _should_probe(self, subflow: Subflow) -> bool:
+        """Idle-path probing (see FmtcpConfig.probe_interval_s).
+
+        Two triggers: the periodic one (idle for probe_interval_s), and
+        the chain — a just-acknowledged probe on a still-distrusted path
+        licenses the next probe immediately, so a healed path re-earns
+        trust at one EWMA sample per RTT rather than per interval.
+        """
+        interval = self.config.probe_interval_s
+        if interval is None or subflow.in_flight > 0:
+            return False
+        if self.sim.now - subflow.last_transmit_at >= interval:
+            return True
+        return (
+            subflow.last_ack_at is not None
+            and self.sim.now - subflow.last_ack_at < 1e-3
+            and self.loss_rate_of(subflow.subflow_id)
+            > self.config.probe_chain_threshold
+        )
+
+    def next_payload(self, subflow: Subflow) -> Optional[Tuple[Any, int]]:
+        self.blocks.replenish()
+        pending = self.blocks.pending_blocks
+        if not pending:
+            return None
+        if self.config.allocation == "eat" and self._should_probe(subflow):
+            # Bypass the EAT ranking for one packet so the quarantined
+            # path's quality estimate gets new evidence (an RTT sample or
+            # a loss observation). The probe carries symbols of the *last*
+            # pending block: useful if they arrive, but never puts the
+            # most urgent block's delay at the mercy of a suspect path.
+            probe = AllocationResult(
+                vector=[(pending[-1].block_id, self.config.symbols_per_packet)]
+            )
+            self.probes_sent += 1
+            return self._build_packet(subflow, probe)
+        if self.config.allocation == "stopwait":
+            # HMTP-style: hammer the first undecoded block on every
+            # subflow until the receiver says it decoded (no prediction,
+            # no EAT) — kept as the related-work baseline.
+            result = AllocationResult(
+                vector=[(pending[0].block_id, self.config.symbols_per_packet)]
+            )
+            return self._build_packet(subflow, result)
+        allocator = (
+            allocate_packet if self.config.allocation == "eat" else allocate_packet_greedy
+        )
+        result: AllocationResult = allocator(
+            pending_subflow_id=subflow.subflow_id,
+            estimates=self.path_estimates(),
+            blocks=pending,
+            loss_rate_of=self.loss_rate_of,
+            mss=self.config.mss,
+            symbol_wire_size=self.config.symbol_wire_size,
+            margin=self.margin,
+        )
+        self.allocation_iterations += result.iterations
+        if result.is_empty():
+            return None
+        return self._build_packet(subflow, result)
+
+    def _build_packet(
+        self, subflow: Subflow, result: AllocationResult
+    ) -> Tuple[FmtcpSegmentPayload, int]:
+        groups = []
+        size = 0
+        for block_id, count in result.vector:
+            block = self.blocks.block_by_id(block_id)
+            if block is None:  # Decoded since allocation ran; skip quietly.
+                continue
+            symbols = None
+            if block.encoder is not None:
+                symbols = [block.encoder.next_symbol() for __ in range(count)]
+            groups.append(
+                SymbolGroup(
+                    block_id=block_id,
+                    count=count,
+                    block_k=block.k,
+                    block_bytes=block.data_bytes,
+                    symbols=symbols,
+                )
+            )
+            block.record_sent(subflow.subflow_id, count, self.sim.now)
+            size += count * self.config.symbol_wire_size
+            self.symbols_sent += count
+        if not groups:
+            return None  # type: ignore[return-value]
+        self.packets_built += 1
+        return FmtcpSegmentPayload(groups), size
+
+    # ------------------------------------------------------------------
+    # SubflowOwner: packet outcome bookkeeping (updates l_b^f of Eq. 8).
+    # ------------------------------------------------------------------
+    def _resolve_groups(self, subflow: Subflow, payload: FmtcpSegmentPayload) -> None:
+        for group in payload.groups:
+            block = self.blocks.block_by_id(group.block_id)
+            if block is not None:
+                block.record_resolved(subflow.subflow_id, group.count)
+
+    def on_payload_delivered(self, subflow: Subflow, info: SubflowPacketInfo) -> None:
+        self._resolve_groups(subflow, info.payload)
+
+    def on_payload_lost(
+        self, subflow: Subflow, info: SubflowPacketInfo, reason: str
+    ) -> None:
+        payload: FmtcpSegmentPayload = info.payload
+        self._resolve_groups(subflow, payload)
+        self.symbols_lost += payload.total_symbols()
+        # Losing symbols re-opens demand; give every subflow a chance to
+        # carry the replacements (the allocator decides which one wins).
+        self.pump_all()
+
+    # ------------------------------------------------------------------
+    # SubflowOwner: receiver feedback (k̄ reports + decode confirmations).
+    # ------------------------------------------------------------------
+    def on_ack_feedback(self, subflow: Subflow, feedback: FmtcpFeedback) -> None:
+        for block_id, k_bar in feedback.k_bar.items():
+            self.blocks.update_k_bar(block_id, k_bar)
+        if self.config.adaptive_margin:
+            self._observe_prediction_misses()
+        while self._decoded_frontier_seen < feedback.decoded_in_order:
+            self._confirm_decoded(self._decoded_frontier_seen)
+            self._decoded_frontier_seen += 1
+        for block_id in feedback.decoded_out_of_order:
+            if block_id not in self._decoded_out_of_order_seen:
+                self._decoded_out_of_order_seen.add(block_id)
+                self._confirm_decoded(block_id)
+        if self._decoded_out_of_order_seen:
+            self._decoded_out_of_order_seen = {
+                block_id
+                for block_id in self._decoded_out_of_order_seen
+                if block_id >= self._decoded_frontier_seen
+            }
+        self.pump_all()
+
+    def _observe_prediction_misses(self) -> None:
+        """Count blocks that went quiescent while still short of k̂."""
+        for block in self.blocks.pending_blocks:
+            if (
+                not block.missed
+                and block.in_flight_total() == 0
+                and block.symbols_generated >= block.k
+                and block.k_bar < block.k
+            ):
+                block.missed = True
+                self._miss_count += 1
+
+    def _adapt_margin(self, block) -> None:
+        """Per-window controller: raise head-room when misses exceed the
+        target rate, relax it after a miss-free window."""
+        self._window_completed += 1
+        if self._window_completed < self.config.adaptive_margin_window:
+            return
+        miss_rate = self._miss_count / self._window_completed
+        if miss_rate > self.config.adaptive_margin_target_miss:
+            self.margin = min(self.margin + 1.0, self.config.adaptive_margin_ceiling)
+        elif self._miss_count == 0:
+            self.margin = max(self.margin - 0.5, self.config.adaptive_margin_floor)
+        self._miss_count = 0
+        self._window_completed = 0
+
+    def _confirm_decoded(self, block_id: int) -> None:
+        block = self.blocks.mark_decoded(block_id)
+        if block is None:
+            return
+        if self.config.adaptive_margin:
+            self._adapt_margin(block)
+        if self.trace is not None and block.first_tx_at is not None:
+            self.trace.emit(
+                self.sim.now,
+                "conn.block_done",
+                block_id=block_id,
+                delay=self.sim.now - block.first_tx_at,
+            )
+
+    def pump_all(self) -> None:
+        for subflow in self.subflows:
+            subflow.pump()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FmtcpSender pending={len(self.blocks.pending_blocks)} "
+            f"symbols_sent={self.symbols_sent} lost={self.symbols_lost}>"
+        )

@@ -1,0 +1,112 @@
+"""Paired protocol comparison with simple significance testing.
+
+"FMTCP beat MPTCP on this seed" is weak evidence; the sound procedure is
+paired runs across seeds (same topology, same seeds, therefore the same
+loss realisations wherever loss models are seed-driven) plus a
+distribution-free test. This module provides exactly that: per-seed
+deltas, the sign test's exact p-value, and a compact verdict — used by
+tests and available to users comparing their own configurations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments.runner import run_transfer
+
+
+def binomial_tail(n: int, k: int) -> float:
+    """P(X >= k) for X ~ Binomial(n, 1/2) — the one-sided sign test."""
+    if k <= 0:
+        return 1.0
+    if k > n:
+        return 0.0
+    total = 0
+    for i in range(k, n + 1):
+        total += math.comb(n, i)
+    return total / 2.0**n
+
+
+@dataclass
+class PairedComparison:
+    """Result of a paired sweep between two protocols."""
+
+    protocol_a: str
+    protocol_b: str
+    metric: str
+    higher_is_better: bool
+    values_a: List[float] = field(default_factory=list)
+    values_b: List[float] = field(default_factory=list)
+    seeds: List[int] = field(default_factory=list)
+
+    @property
+    def deltas(self) -> List[float]:
+        return [a - b for a, b in zip(self.values_a, self.values_b)]
+
+    @property
+    def wins(self) -> int:
+        """Seeds where protocol A beat protocol B on the metric."""
+        if self.higher_is_better:
+            return sum(1 for delta in self.deltas if delta > 0)
+        return sum(1 for delta in self.deltas if delta < 0)
+
+    @property
+    def p_value(self) -> float:
+        """One-sided sign-test p-value for 'A beats B'."""
+        decisive = [delta for delta in self.deltas if delta != 0]
+        if not decisive:
+            return 1.0
+        favourable = (
+            sum(1 for d in decisive if d > 0)
+            if self.higher_is_better
+            else sum(1 for d in decisive if d < 0)
+        )
+        return binomial_tail(len(decisive), favourable)
+
+    @property
+    def mean_delta(self) -> float:
+        if not self.deltas:
+            return 0.0
+        return sum(self.deltas) / len(self.deltas)
+
+    def verdict(self, alpha: float = 0.05) -> str:
+        if self.p_value <= alpha:
+            return f"{self.protocol_a} beats {self.protocol_b} (p={self.p_value:.4f})"
+        return (
+            f"no significant difference at alpha={alpha} "
+            f"(p={self.p_value:.4f}, wins {self.wins}/{len(self.seeds)})"
+        )
+
+
+def compare_protocols(
+    protocol_a: str,
+    protocol_b: str,
+    config_factory: Callable[[], list],
+    duration_s: float,
+    seeds: Sequence[int] = tuple(range(1, 8)),
+    metric: str = "goodput_mbytes_per_s",
+    higher_is_better: bool = True,
+    **run_kwargs,
+) -> PairedComparison:
+    """Paired runs of two protocols over a seed set."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    result = PairedComparison(
+        protocol_a=protocol_a,
+        protocol_b=protocol_b,
+        metric=metric,
+        higher_is_better=higher_is_better,
+        seeds=list(seeds),
+    )
+    for seed in seeds:
+        a = run_transfer(
+            protocol_a, config_factory(), duration_s=duration_s, seed=seed, **run_kwargs
+        )
+        b = run_transfer(
+            protocol_b, config_factory(), duration_s=duration_s, seed=seed, **run_kwargs
+        )
+        result.values_a.append(a.summary[metric])
+        result.values_b.append(b.summary[metric])
+    return result

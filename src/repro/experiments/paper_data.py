@@ -1,0 +1,40 @@
+"""Approximate values read off the paper's figures.
+
+The paper publishes no tables of numbers; these series were digitised by
+eye from Figures 3-6 and are *approximate*. They exist so the benchmark
+harness and EXPERIMENTS.md can print paper-vs-measured rows and so tests
+can assert the qualitative shape (who wins, degradation trends) — never
+absolute equality, since our substrate is a different simulator with a
+different (unstated in the paper) link bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Fig. 3 — total goodput (MB) per Table I test case, 1-indexed by case.
+FIG3_GOODPUT_MB: Dict[str, List[float]] = {
+    "mptcp": [1450.0, 1100.0, 780.0, 580.0, 1000.0, 950.0, 780.0, 700.0],
+    "fmtcp": [1620.0, 1580.0, 1520.0, 1470.0, 1600.0, 1570.0, 1520.0, 1450.0],
+}
+
+#: Fig. 5 — mean block delivery delay (ms) per test case.
+FIG5_DELAY_MS: Dict[str, List[float]] = {
+    "mptcp": [130.0, 190.0, 310.0, 430.0, 260.0, 280.0, 310.0, 340.0],
+    "fmtcp": [100.0, 110.0, 130.0, 150.0, 110.0, 120.0, 130.0, 150.0],
+}
+
+#: Fig. 6 — mean block jitter (ms) per test case.
+FIG6_JITTER_MS: Dict[str, List[float]] = {
+    "mptcp": [35.0, 65.0, 125.0, 200.0, 95.0, 105.0, 125.0, 145.0],
+    "fmtcp": [15.0, 20.0, 30.0, 45.0, 25.0, 28.0, 30.0, 38.0],
+}
+
+#: Fig. 4 — steady-state goodput rate (MB/s) before/during the surge.
+FIG4_RATES_MBPS: Dict[str, Dict[str, float]] = {
+    "25%": {"mptcp_before": 0.80, "mptcp_during": 0.45, "fmtcp_before": 0.85, "fmtcp_during": 0.60},
+    "35%": {"mptcp_before": 0.80, "mptcp_during": 0.05, "fmtcp_before": 0.85, "fmtcp_during": 0.45},
+}
+
+#: Fig. 7 — qualitative: MPTCP's max block delay is ~5x its mean; FMTCP stable.
+FIG7_MPTCP_MAX_OVER_MEAN: float = 5.0

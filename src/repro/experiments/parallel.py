@@ -1,0 +1,64 @@
+"""Parallel experiment execution.
+
+Every run is an isolated, deterministic simulation, so parameter sweeps
+are embarrassingly parallel. This module fans ``run_transfer`` jobs out
+over a process pool; results come back in submission order, bit-identical
+to serial execution (each worker runs the same seeded simulation).
+
+Workers default to ``REPRO_WORKERS`` from the environment (1 = serial).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.runner import ExperimentResult, run_transfer
+
+
+@dataclass
+class TransferJob:
+    """One run_transfer invocation, described declaratively."""
+
+    protocol: str
+    path_configs: Any  # Sequence[PathConfig]; kept loose for pickling ease
+    duration_s: float
+    seed: int = 1
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+def default_workers() -> int:
+    value = os.environ.get("REPRO_WORKERS", "1")
+    try:
+        return max(1, int(value))
+    except ValueError:
+        return 1
+
+
+def _execute(job: TransferJob) -> ExperimentResult:
+    return run_transfer(
+        job.protocol,
+        job.path_configs,
+        duration_s=job.duration_s,
+        seed=job.seed,
+        **job.kwargs,
+    )
+
+
+def run_jobs(
+    jobs: Sequence[TransferJob],
+    workers: Optional[int] = None,
+) -> List[ExperimentResult]:
+    """Run all jobs, in parallel when ``workers`` > 1.
+
+    Results are returned in job order regardless of completion order.
+    Serial execution is the default (and the fallback for a single job),
+    so importing environments without working multiprocessing still work.
+    """
+    workers = workers if workers is not None else default_workers()
+    if workers <= 1 or len(jobs) <= 1:
+        return [_execute(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+        return list(pool.map(_execute, jobs))

@@ -1,0 +1,96 @@
+"""Assemble a markdown report from saved benchmark results.
+
+The benchmark harness writes one plain-text block per experiment into
+``benchmarks/results/``; this module stitches them into a single
+``RESULTS.md`` with a stable section order and a generation header —
+the file a user attaches to a reproduction write-up. Exposed as
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Section ordering and human titles; anything not listed is appended
+#: alphabetically under "Other results".
+SECTION_ORDER = [
+    ("table1_path_fidelity", "Table I — path fidelity"),
+    ("motivation_tcp_vs_multipath", "Section I motivation — TCP vs multipath"),
+    ("fig3_goodput", "Figure 3 — total goodput"),
+    ("fig4_surge_25", "Figure 4(a) — 25 % loss surge"),
+    ("fig4_surge_35", "Figure 4(b) — 35 % loss surge"),
+    ("fig5_block_delay", "Figure 5 — block delivery delay"),
+    ("fig6_jitter", "Figure 6 — block jitter"),
+    ("fig7_block_delay_series", "Figure 7 — per-block delay series"),
+    ("analysis_fixed_rate", "Section III-B — fixed-rate analysis"),
+    ("analysis_fountain_overhead", "Section III-B — fountain overhead"),
+    ("analysis_sedt", "Section IV-C — SEDT"),
+    ("analysis_theorem2", "Section IV-C — Theorem 2"),
+    ("analysis_theorem3", "Section IV-C — Theorem 3"),
+    ("fairness_shared_bottleneck", "Extension — TCP-friendliness"),
+    ("fixedrate_p_hat_sweep", "Extension — fixed-rate p̂ sweep"),
+    ("fixedrate_blackout", "Extension — fixed-rate blackout stall"),
+    ("heatmap_loss_buffer", "Extension — loss × buffer heatmap"),
+    ("sensitivity_loss", "Extension — loss sensitivity"),
+    ("sensitivity_bandwidth", "Extension — bandwidth sensitivity"),
+    ("sensitivity_delay", "Extension — delay-asymmetry sensitivity"),
+    ("ablation_allocation", "Ablation — allocation policies"),
+    ("ablation_delta_hat", "Ablation — δ̂ margin"),
+    ("ablation_block_size", "Ablation — block geometry"),
+    ("ablation_buffer_size", "Ablation — receive buffer"),
+    ("ablation_congestion", "Ablation — congestion coupling"),
+    ("ablation_mptcp_scheduler", "Ablation — MPTCP scheduler"),
+]
+
+
+def collect_results(results_dir: Path) -> Dict[str, str]:
+    """Read every ``<name>.txt`` saved by the benchmark harness."""
+    results = {}
+    if not results_dir.is_dir():
+        return results
+    for path in sorted(results_dir.glob("*.txt")):
+        results[path.stem] = path.read_text().rstrip()
+    return results
+
+
+def build_report(results: Dict[str, str], header: Optional[str] = None) -> str:
+    """Render the results into one markdown document."""
+    lines: List[str] = ["# Reproduction results", ""]
+    if header:
+        lines += [header, ""]
+    lines += [
+        "Generated from `benchmarks/results/` (written by "
+        "`pytest benchmarks/ --benchmark-only`). Paper-vs-measured context "
+        "and known deviations are documented in EXPERIMENTS.md.",
+        "",
+    ]
+    seen = set()
+    for name, title in SECTION_ORDER:
+        if name not in results:
+            continue
+        seen.add(name)
+        lines += [f"## {title}", "", "```", results[name], "```", ""]
+    leftovers = sorted(set(results) - seen)
+    if leftovers:
+        lines += ["## Other results", ""]
+        for name in leftovers:
+            lines += [f"### {name}", "", "```", results[name], "```", ""]
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def write_report(
+    results_dir: Optional[Path] = None,
+    output_path: Optional[Path] = None,
+) -> Path:
+    """Generate RESULTS.md next to the results directory; returns its path."""
+    results_dir = results_dir or Path("benchmarks/results")
+    output_path = output_path or Path("RESULTS.md")
+    results = collect_results(results_dir)
+    if not results:
+        raise FileNotFoundError(
+            f"no saved results in {results_dir}; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    output_path.write_text(build_report(results))
+    return output_path

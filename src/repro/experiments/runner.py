@@ -1,0 +1,216 @@
+"""Run one protocol transfer over a configured topology and measure it.
+
+This is the equivalent of one ns-2 run of the paper: assemble the
+two-path network, attach a backlogged (or caller-supplied) source to
+either FMTCP or the IETF-MPTCP baseline, simulate for a fixed duration,
+and return the three paper metrics plus protocol-internal statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import FmtcpConfig
+from repro.core.connection import FmtcpConnection
+from repro.fixedrate.connection import FixedRateConfig, FixedRateConnection
+from repro.metrics.collectors import MetricsSuite
+from repro.mptcp.connection import MptcpConfig, MptcpConnection
+from repro.net.topology import PathConfig, build_two_path_network
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceBus
+from repro.tcp.stream import TcpConfig, TcpConnection
+from repro.workloads.sources import BulkSource
+
+PROTOCOLS = ("fmtcp", "mptcp", "tcp", "fixedrate")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one run."""
+
+    protocol: str
+    duration_s: float
+    seed: int
+    path_configs: List[PathConfig]
+    summary: Dict[str, float]
+    goodput_series: List[Tuple[float, float]] = field(default_factory=list)
+    block_delays: List[float] = field(default_factory=list)
+    subflow_stats: List[Dict[str, float]] = field(default_factory=list)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def goodput_mbytes(self) -> float:
+        return self.summary["total_mbytes"]
+
+    @property
+    def mean_block_delay_ms(self) -> float:
+        return self.summary["mean_block_delay_ms"]
+
+    @property
+    def jitter_ms(self) -> float:
+        return self.summary["jitter_ms"]
+
+
+def default_fmtcp_config() -> FmtcpConfig:
+    return FmtcpConfig()
+
+
+def default_mptcp_config(fmtcp: FmtcpConfig) -> MptcpConfig:
+    """Baseline config matched to FMTCP's for a fair comparison.
+
+    Section V: "we partition the data streams transmitted by IETF-MPTCP
+    into blocks of the same length as that of FMTCP and measure the delay
+    and jitter accordingly". The receive buffer is sized to the same byte
+    budget FMTCP's pending-block limit implies.
+    """
+    buffer_bytes = fmtcp.block_bytes * fmtcp.max_pending_blocks
+    return MptcpConfig(
+        mss=fmtcp.mss,
+        block_bytes=fmtcp.block_bytes,
+        recv_buffer_chunks=max(16, buffer_bytes // fmtcp.mss),
+    )
+
+
+def run_transfer(
+    protocol: str,
+    path_configs: Sequence[PathConfig],
+    duration_s: float,
+    seed: int = 1,
+    fmtcp_config: Optional[FmtcpConfig] = None,
+    mptcp_config: Optional[MptcpConfig] = None,
+    source=None,
+    bin_width_s: float = 1.0,
+    collect_series: bool = False,
+) -> ExperimentResult:
+    """Simulate one transfer and return its measurements."""
+    if protocol not in PROTOCOLS:
+        raise ValueError(f"protocol must be one of {PROTOCOLS}, got {protocol!r}")
+    sim = Simulator()
+    rng = RngStreams(seed)
+    trace = TraceBus()
+    network, paths = build_two_path_network(
+        list(path_configs), sim=sim, rng=rng, trace=trace
+    )
+    metrics = MetricsSuite(trace, bin_width_s=bin_width_s)
+    if source is None:
+        source = BulkSource()
+
+    if protocol == "fmtcp":
+        config = fmtcp_config or default_fmtcp_config()
+        connection = FmtcpConnection(
+            sim=sim, paths=paths, source=source, config=config, trace=trace, rng=rng
+        )
+    elif protocol == "fixedrate":
+        fmtcp_defaults = fmtcp_config or default_fmtcp_config()
+        connection = FixedRateConnection(
+            sim=sim,
+            paths=paths,
+            source=source,
+            config=FixedRateConfig(
+                symbols_per_block=fmtcp_defaults.symbols_per_block,
+                symbol_size=fmtcp_defaults.symbol_size,
+                symbol_header_bytes=fmtcp_defaults.symbol_header_bytes,
+                mss=fmtcp_defaults.mss,
+                max_pending_blocks=fmtcp_defaults.max_pending_blocks,
+            ),
+            trace=trace,
+        )
+    elif protocol == "tcp":
+        # Conventional single-path TCP on the *best* path (lowest loss,
+        # then lowest delay) — the paper's Section I comparator.
+        fmtcp_defaults = fmtcp_config or default_fmtcp_config()
+        best = min(
+            range(len(paths)),
+            key=lambda i: (
+                path_configs[i].loss_rate,
+                path_configs[i].delay_s,
+            ),
+        )
+        connection = TcpConnection(
+            sim=sim,
+            path=paths[best],
+            source=source,
+            config=TcpConfig(
+                mss=fmtcp_defaults.mss,
+                block_bytes=fmtcp_defaults.block_bytes,
+                recv_buffer_chunks=max(
+                    16,
+                    fmtcp_defaults.block_bytes
+                    * fmtcp_defaults.max_pending_blocks
+                    // fmtcp_defaults.mss,
+                ),
+            ),
+            trace=trace,
+        )
+    else:
+        config = mptcp_config or default_mptcp_config(
+            fmtcp_config or default_fmtcp_config()
+        )
+        connection = MptcpConnection(
+            sim=sim, paths=paths, source=source, config=config, trace=trace
+        )
+
+    if hasattr(source, "attach"):
+        source.attach(connection)
+    connection.start()
+    sim.run(until=duration_s)
+
+    result = ExperimentResult(
+        protocol=protocol,
+        duration_s=duration_s,
+        seed=seed,
+        path_configs=list(path_configs),
+        summary=metrics.summary(duration_s),
+        block_delays=metrics.block_delay.delays_in_sequence(),
+        subflow_stats=[
+            _subflow_stats(subflow)
+            for subflow in (
+                connection.subflows
+                if hasattr(connection, "subflows")
+                else [connection.subflow]
+            )
+        ],
+    )
+    if collect_series:
+        result.goodput_series = metrics.goodput.series(duration_s)
+    if protocol == "tcp":
+        result.extras = {
+            "chunks_retransmitted": connection.chunks_retransmitted,
+        }
+    elif protocol == "fixedrate":
+        result.extras = {
+            "symbols_sent": connection.symbols_sent,
+            "symbols_retransmitted": connection.symbols_retransmitted,
+            "blocks_decoded": connection.blocks_decoded,
+            "redundancy_ratio": connection.redundancy_ratio(),
+        }
+    elif protocol == "fmtcp":
+        result.extras = {
+            "symbols_sent": connection.sender.symbols_sent,
+            "symbols_lost": connection.sender.symbols_lost,
+            "symbols_redundant": connection.receiver.symbols_redundant,
+            "blocks_decoded": connection.receiver.blocks_decoded,
+            "redundancy_ratio": connection.redundancy_ratio(),
+        }
+    else:
+        result.extras = {
+            "chunks_retransmitted": connection.chunks_retransmitted,
+            "chunks_reinjected": connection.chunks_reinjected,
+            "reorder_high_watermark": connection.reorder_buffer.high_watermark,
+        }
+    connection.close()
+    return result
+
+
+def _subflow_stats(subflow) -> Dict[str, float]:
+    return {
+        "packets_sent": float(subflow.packets_sent),
+        "packets_acked": float(subflow.packets_acked),
+        "lost_dupack": float(subflow.packets_lost_dupack),
+        "lost_timeout": float(subflow.packets_lost_timeout),
+        "loss_estimate": subflow.loss_rate_estimate,
+        "srtt_ms": subflow.srtt * 1e3,
+        "cwnd": subflow.cc.cwnd,
+    }

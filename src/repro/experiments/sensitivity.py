@@ -1,0 +1,123 @@
+"""Sensitivity sweeps: where does FMTCP's advantage live?
+
+The paper evaluates eight (delay, loss) points at one unstated bandwidth.
+These sweeps map the surrounding parameter space — loss rate, bandwidth
+and path-delay asymmetry — and cross-check each operating point against
+the PFTK closed-form prediction, so a user can tell at a glance which
+regimes reward deploying FMTCP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.throughput import predicted_aggregate_goodput_bps
+from repro.experiments.runner import ExperimentResult, run_transfer
+from repro.net.topology import PathConfig
+from repro.workloads.scenarios import DEFAULT_BANDWIDTH_BPS
+
+
+@dataclass
+class SweepPoint:
+    """One operating point of a sweep: parameters + both protocols' results."""
+
+    label: str
+    configs_description: str
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+    predicted_bps: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def advantage(self) -> float:
+        """FMTCP/MPTCP goodput ratio at this point."""
+        mptcp = self.results["mptcp"].summary["goodput_mbytes_per_s"]
+        fmtcp = self.results["fmtcp"].summary["goodput_mbytes_per_s"]
+        return fmtcp / mptcp if mptcp > 0 else float("inf")
+
+
+def _run_point(
+    label: str,
+    config_factory,
+    duration_s: float,
+    seed: int,
+) -> SweepPoint:
+    configs = config_factory()
+    point = SweepPoint(
+        label=label,
+        configs_description=", ".join(
+            f"{config.bandwidth_bps / 1e6:.0f}Mbps/{config.delay_s * 1e3:.0f}ms/"
+            f"{config.loss_rate:.0%}"
+            for config in configs
+        ),
+    )
+    for protocol in ("fmtcp", "mptcp"):
+        point.results[protocol] = run_transfer(
+            protocol, config_factory(), duration_s=duration_s, seed=seed
+        )
+        point.predicted_bps[protocol] = predicted_aggregate_goodput_bps(
+            configs, protocol=protocol
+        )
+    return point
+
+
+def sweep_loss(
+    loss_rates: Optional[Sequence[float]] = None,
+    duration_s: float = 30.0,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+    seed: int = 1,
+) -> List[SweepPoint]:
+    """Subflow-2 loss sweep at fixed 100 ms delays (extends Fig. 3's ramp)."""
+    loss_rates = list(loss_rates or (0.0, 0.02, 0.05, 0.10, 0.20, 0.30))
+    points = []
+    for loss in loss_rates:
+        def factory(loss=loss):
+            return [
+                PathConfig(bandwidth_bps=bandwidth_bps, delay_s=0.100, loss_rate=0.0),
+                PathConfig(bandwidth_bps=bandwidth_bps, delay_s=0.100, loss_rate=loss),
+            ]
+
+        points.append(_run_point(f"loss={loss:.0%}", factory, duration_s, seed))
+    return points
+
+
+def sweep_bandwidth(
+    bandwidths_bps: Optional[Sequence[float]] = None,
+    duration_s: float = 30.0,
+    seed: int = 1,
+) -> List[SweepPoint]:
+    """Per-path bandwidth sweep at Table I case 4 parameters."""
+    bandwidths_bps = list(bandwidths_bps or (1e6, 2e6, 4e6, 8e6))
+    points = []
+    for bandwidth in bandwidths_bps:
+        def factory(bandwidth=bandwidth):
+            return [
+                PathConfig(bandwidth_bps=bandwidth, delay_s=0.100, loss_rate=0.0),
+                PathConfig(bandwidth_bps=bandwidth, delay_s=0.100, loss_rate=0.15),
+            ]
+
+        points.append(
+            _run_point(f"bw={bandwidth / 1e6:.0f}Mbps", factory, duration_s, seed)
+        )
+    return points
+
+
+def sweep_delay_asymmetry(
+    delays_s: Optional[Sequence[float]] = None,
+    duration_s: float = 30.0,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+    seed: int = 1,
+) -> List[SweepPoint]:
+    """Subflow-2 delay sweep at fixed 10 % loss (extends cases 5-8)."""
+    delays_s = list(delays_s or (0.010, 0.025, 0.050, 0.100, 0.200, 0.400))
+    points = []
+    for delay in delays_s:
+        def factory(delay=delay):
+            return [
+                PathConfig(bandwidth_bps=bandwidth_bps, delay_s=0.100, loss_rate=0.0),
+                PathConfig(bandwidth_bps=bandwidth_bps, delay_s=delay, loss_rate=0.10),
+            ]
+
+        points.append(
+            _run_point(f"delay2={delay * 1e3:.0f}ms", factory, duration_s, seed)
+        )
+    return points

@@ -1,0 +1,15 @@
+"""Fixed-rate FEC multipath transport (the Section III-B strawman).
+
+The paper's quantitative argument for rateless coding (Eqs. 3-7) is made
+against *fixed-rate* erasure coding: encode each block into a
+predetermined number of symbols n = ⌈k̂/(1−p̂)⌉ using an estimated loss
+rate p̂, and retransmit specific lost symbols — on the same path — when
+the estimate proves optimistic. MPLOT (related work [16]) is the
+archetype. This package implements that transport over the same subflow
+machinery so the comparison is protocol-vs-protocol, not just
+formula-vs-formula.
+"""
+
+from repro.fixedrate.connection import FixedRateConfig, FixedRateConnection
+
+__all__ = ["FixedRateConfig", "FixedRateConnection"]

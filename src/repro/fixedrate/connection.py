@@ -1,0 +1,399 @@
+"""Fixed-rate FEC multipath connection.
+
+Each block of k̂ symbols is encoded *up front* into exactly
+n = ⌈k̂/(1−p̂)⌉ distinct coded symbols (an MDS-style code: any k̂ of the n
+recover the block — Reed-Solomon semantics, which flatter fixed-rate
+coding relative to the binary fountain). Symbols are striped over
+subflows on demand; a lost symbol is retransmitted *on the subflow that
+first carried it* (the same-path constraint the paper describes for
+fixed-rate schemes); and when all n symbols are exhausted before the
+block decodes — the Eq. (6) event of an underestimated loss rate — the
+sender must fall back to retransmitting, paying the stall the Chernoff
+bound predicts.
+
+Emits the shared trace vocabulary (``conn.delivered`` /
+``conn.block_done``) so the metric stack and harness apply unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.net.topology import Path
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceBus
+from repro.tcp.congestion import RenoController
+from repro.tcp.rto import RtoEstimator
+from repro.tcp.subflow import Subflow, SubflowOwner, SubflowPacketInfo, SubflowSink
+
+
+@dataclass
+class FixedRateConfig:
+    """Tunables; geometry defaults match FMTCP's for fair comparison."""
+
+    symbols_per_block: int = 256
+    symbol_size: int = 32
+    symbol_header_bytes: int = 2
+    mss: int = 1400
+    # p̂: the loss estimate baked into the code rate (Eq. 4's p1).
+    estimated_loss: float = 0.05
+    # "gbn": a loss retransmits the lost symbols AND re-sends everything
+    # outstanding behind them on that subflow (the Go-Back-N waste the
+    # paper's Eq. (6) argument assumes). "selective": retransmit only the
+    # lost symbols (the selective-repeat variant the paper notes is
+    # "rarely used by practical systems").
+    repair: str = "gbn"
+    max_pending_blocks: int = 16
+    initial_cwnd: float = 2.0
+    dup_ack_threshold: int = 3
+    min_rto: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.estimated_loss < 1.0:
+            raise ValueError("estimated_loss must be in [0, 1)")
+        if self.symbols_per_block < 1 or self.symbol_size < 1:
+            raise ValueError("block geometry must be positive")
+        if self.repair not in ("gbn", "selective"):
+            raise ValueError(f"unknown repair mode {self.repair!r}")
+
+    @property
+    def block_bytes(self) -> int:
+        return self.symbols_per_block * self.symbol_size
+
+    @property
+    def symbol_wire_size(self) -> int:
+        return self.symbol_size + self.symbol_header_bytes
+
+    @property
+    def symbols_per_packet(self) -> int:
+        return max(1, self.mss // self.symbol_wire_size)
+
+    @property
+    def code_symbols(self) -> int:
+        """n = ⌈k̂/(1−p̂)⌉: the fixed number of coded symbols per block."""
+        return int(math.ceil(self.symbols_per_block / (1.0 - self.estimated_loss)))
+
+
+class _FixedBlock:
+    """Sender-side state of one fixed-rate block."""
+
+    __slots__ = (
+        "block_id", "k", "n", "data_bytes", "unsent", "owner_of",
+        "first_tx_at", "decoded",
+    )
+
+    def __init__(self, block_id: int, k: int, n: int, data_bytes: int):
+        self.block_id = block_id
+        self.k = k
+        self.n = n
+        self.data_bytes = data_bytes
+        self.unsent: Deque[int] = deque(range(n))  # symbol ids never sent
+        self.owner_of: Dict[int, int] = {}  # symbol id -> subflow that carries it
+        self.first_tx_at: Optional[float] = None
+        self.decoded = False
+
+
+class _FixedGroup:
+    """Wire unit: specific symbol ids of one block."""
+
+    __slots__ = ("block_id", "symbol_ids", "block_k", "block_bytes")
+
+    def __init__(self, block_id: int, symbol_ids: Tuple[int, ...], block_k: int,
+                 block_bytes: int):
+        self.block_id = block_id
+        self.symbol_ids = symbol_ids
+        self.block_k = block_k
+        self.block_bytes = block_bytes
+
+
+class _FixedFeedback:
+    __slots__ = ("received_counts", "decoded_in_order", "decoded_out_of_order")
+
+    def __init__(self, received_counts, decoded_in_order, decoded_out_of_order):
+        self.received_counts = received_counts
+        self.decoded_in_order = decoded_in_order
+        self.decoded_out_of_order = decoded_out_of_order
+
+
+class FixedRateConnection(SubflowOwner):
+    """Sender + receiver pair of the fixed-rate FEC transport."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        paths: Sequence[Path],
+        source,
+        config: Optional[FixedRateConfig] = None,
+        trace: Optional[TraceBus] = None,
+        sink: Optional[Callable[[int], None]] = None,
+    ):
+        if not paths:
+            raise ValueError("need at least one path")
+        self.sim = sim
+        self.config = config or FixedRateConfig()
+        self.source = source
+        self.trace = trace
+        self.sink = sink
+
+        self.subflows: List[Subflow] = []
+        self._sinks: List[SubflowSink] = []
+        for index, path in enumerate(paths):
+            subflow = Subflow(
+                sim=sim,
+                path=path,
+                owner=self,
+                subflow_id=index,
+                congestion=RenoController(initial_cwnd=self.config.initial_cwnd),
+                rto=RtoEstimator(min_rto=self.config.min_rto),
+                mss=self.config.mss,
+                dup_ack_threshold=self.config.dup_ack_threshold,
+                trace=trace,
+            )
+            self.subflows.append(subflow)
+            self._sinks.append(
+                SubflowSink(
+                    sim=sim,
+                    path=path,
+                    subflow=subflow,
+                    on_segment=self._receiver_on_segment,
+                    feedback_provider=self._receiver_feedback,
+                    trace=trace,
+                )
+            )
+
+        # ---- sender state ----
+        self._pending: List[_FixedBlock] = []
+        self._next_block_id = 0
+        self._retx_queues: Dict[int, Deque[Tuple[int, int]]] = {
+            subflow.subflow_id: deque() for subflow in self.subflows
+        }
+        self._decoded_frontier_seen = 0
+        self._decoded_out_of_order_seen: Set[int] = set()
+        self.symbols_sent = 0
+        self.symbols_retransmitted = 0
+        self.retransmission_rounds = 0
+        self.gbn_duplicates = 0
+
+        # ---- receiver state ----
+        self._received_ids: Dict[int, Set[int]] = {}
+        self._block_meta: Dict[int, Tuple[int, int]] = {}  # id -> (k, bytes)
+        self._decoded_waiting: Dict[int, int] = {}  # id -> bytes
+        self._deliver_next = 0
+        self._decode_frontier = 0
+        self.delivered_bytes = 0
+        self.blocks_decoded = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.pump()
+
+    def pump(self) -> None:
+        for subflow in self.subflows:
+            subflow.pump()
+
+    def close(self) -> None:
+        for subflow in self.subflows:
+            subflow.close()
+        for sink in self._sinks:
+            sink.close()
+
+    # ------------------------------------------------------------------
+    # Sender side.
+    # ------------------------------------------------------------------
+    def _replenish(self) -> None:
+        while len(self._pending) < self.config.max_pending_blocks:
+            pulled: Union[int, bytes, None] = self.source.pull(self.config.block_bytes)
+            if not pulled:
+                return
+            data_bytes = len(pulled) if isinstance(pulled, bytes) else int(pulled)
+            k = max(1, min(
+                -(-data_bytes // self.config.symbol_size),
+                self.config.symbols_per_block,
+            ))
+            n = int(math.ceil(k / (1.0 - self.config.estimated_loss)))
+            self._pending.append(
+                _FixedBlock(self._next_block_id, k, n, data_bytes)
+            )
+            self._next_block_id += 1
+
+    def _block_by_id(self, block_id: int) -> Optional[_FixedBlock]:
+        for block in self._pending:
+            if block.block_id == block_id:
+                return block
+        return None
+
+    def next_payload(self, subflow: Subflow) -> Optional[Tuple[Any, int]]:
+        budget = self.config.symbols_per_packet
+        retx_queue = self._retx_queues[subflow.subflow_id]
+        groups: Dict[int, List[int]] = {}
+        taken = 0
+        # Retransmissions first (same-subflow binding).
+        while retx_queue and taken < budget:
+            block_id, symbol_id = retx_queue.popleft()
+            block = self._block_by_id(block_id)
+            if block is None:
+                continue  # decoded meanwhile
+            groups.setdefault(block_id, []).append(symbol_id)
+            self.symbols_retransmitted += 1
+            taken += 1
+        # Then fresh symbols from the earliest blocks with unsent budget.
+        if taken < budget:
+            self._replenish()
+            for block in self._pending:
+                while block.unsent and taken < budget:
+                    symbol_id = block.unsent.popleft()
+                    block.owner_of[symbol_id] = subflow.subflow_id
+                    groups.setdefault(block.block_id, []).append(symbol_id)
+                    taken += 1
+                if taken >= budget:
+                    break
+        if not groups:
+            return None
+        wire_groups = []
+        for block_id, symbol_ids in groups.items():
+            block = self._block_by_id(block_id)
+            if block is None:
+                continue
+            if block.first_tx_at is None:
+                block.first_tx_at = self.sim.now
+            wire_groups.append(
+                _FixedGroup(block_id, tuple(symbol_ids), block.k, block.data_bytes)
+            )
+        self.symbols_sent += taken
+        return wire_groups, taken * self.config.symbol_wire_size
+
+    def on_payload_lost(self, subflow: Subflow, info: SubflowPacketInfo, reason: str) -> None:
+        queue = self._retx_queues[subflow.subflow_id]
+        self.retransmission_rounds += 1
+        for group in info.payload:
+            if self._block_by_id(group.block_id) is None:
+                continue
+            for symbol_id in group.symbol_ids:
+                queue.append((group.block_id, symbol_id))
+        if self.config.repair != "gbn":
+            return
+        # Go-Back-N: everything sent after the lost packet on this subflow
+        # is re-sent too, even though most of it will arrive anyway — the
+        # bandwidth waste Section III-B's analysis charges fixed-rate
+        # coding with.
+        for seq, payload in subflow.outstanding_payloads():
+            if seq <= info.seq:
+                continue
+            for group in payload:
+                if self._block_by_id(group.block_id) is None:
+                    continue
+                for symbol_id in group.symbol_ids:
+                    queue.append((group.block_id, symbol_id))
+                    self.gbn_duplicates += 1
+
+    def on_ack_feedback(self, subflow: Subflow, feedback: _FixedFeedback) -> None:
+        while self._decoded_frontier_seen < feedback.decoded_in_order:
+            self._confirm_decoded(self._decoded_frontier_seen)
+            self._decoded_frontier_seen += 1
+        for block_id in feedback.decoded_out_of_order:
+            if block_id not in self._decoded_out_of_order_seen:
+                self._decoded_out_of_order_seen.add(block_id)
+                self._confirm_decoded(block_id)
+        self._decoded_out_of_order_seen = {
+            block_id
+            for block_id in self._decoded_out_of_order_seen
+            if block_id >= self._decoded_frontier_seen
+        }
+        self.pump()
+
+    def _confirm_decoded(self, block_id: int) -> None:
+        block = self._block_by_id(block_id)
+        if block is None:
+            return
+        block.decoded = True
+        self._pending.remove(block)
+        # Drop now-useless queued retransmissions of this block.
+        for queue in self._retx_queues.values():
+            remaining = [(b, s) for b, s in queue if b != block_id]
+            queue.clear()
+            queue.extend(remaining)
+        if self.trace is not None and block.first_tx_at is not None:
+            self.trace.emit(
+                self.sim.now,
+                "conn.block_done",
+                block_id=block_id,
+                delay=self.sim.now - block.first_tx_at,
+            )
+
+    # ------------------------------------------------------------------
+    # Receiver side: MDS semantics — any k distinct ids decode the block.
+    # ------------------------------------------------------------------
+    def _receiver_on_segment(self, subflow_id: int, segment) -> None:
+        for group in segment.payload:
+            if self._is_decoded(group.block_id):
+                continue
+            ids = self._received_ids.setdefault(group.block_id, set())
+            self._block_meta[group.block_id] = (group.block_k, group.block_bytes)
+            ids.update(group.symbol_ids)
+            if len(ids) >= group.block_k:
+                self._finish_block(group.block_id)
+
+    def _is_decoded(self, block_id: int) -> bool:
+        return block_id < self._deliver_next or block_id in self._decoded_waiting
+
+    def _finish_block(self, block_id: int) -> None:
+        __, block_bytes = self._block_meta.pop(block_id)
+        self._received_ids.pop(block_id, None)
+        self._decoded_waiting[block_id] = block_bytes
+        self.blocks_decoded += 1
+        while self._decode_frontier in self._decoded_waiting or (
+            self._decode_frontier < self._deliver_next
+        ):
+            self._decode_frontier += 1
+        while self._deliver_next in self._decoded_waiting:
+            delivered_bytes = self._decoded_waiting.pop(self._deliver_next)
+            self.delivered_bytes += delivered_bytes
+            if self.sink is not None:
+                self.sink(self._deliver_next)
+            if self.trace is not None and self.trace.has_subscribers("conn.delivered"):
+                self.trace.emit(
+                    self.sim.now,
+                    "conn.delivered",
+                    bytes=delivered_bytes,
+                    block_id=self._deliver_next,
+                )
+            self._deliver_next += 1
+        if self._decode_frontier < self._deliver_next:
+            self._decode_frontier = self._deliver_next
+
+    def _receiver_feedback(self, subflow_id: int, segment) -> _FixedFeedback:
+        return _FixedFeedback(
+            received_counts={
+                block_id: len(ids) for block_id, ids in self._received_ids.items()
+            },
+            decoded_in_order=self._decode_frontier,
+            decoded_out_of_order=tuple(
+                block_id
+                for block_id in self._decoded_waiting
+                if block_id >= self._decode_frontier
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def delivered_blocks(self) -> int:
+        return self._deliver_next
+
+    def redundancy_ratio(self) -> float:
+        needed = self.blocks_decoded * self.config.symbols_per_block
+        if needed == 0:
+            return 0.0
+        return self.symbols_sent / needed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FixedRateConnection pending={len(self._pending)} "
+            f"delivered={self._deliver_next} retx={self.symbols_retransmitted}>"
+        )

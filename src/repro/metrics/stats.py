@@ -1,0 +1,46 @@
+"""Small summary-statistics helpers (no numpy needed on hot paths)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation; 0.0 for fewer than two samples."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((value - mu) ** 2 for value in values) / len(values))
+
+
+def mean_absolute_difference(values: Sequence[float]) -> float:
+    """Mean |x_{i+1} - x_i| of consecutive samples — the classic jitter
+    statistic, applied per block as the paper specifies (Fig. 6)."""
+    if len(values) < 2:
+        return 0.0
+    total = sum(abs(b - a) for a, b in zip(values, values[1:]))
+    return total / (len(values) - 1)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]; 0.0 when empty."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction

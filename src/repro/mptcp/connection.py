@@ -1,0 +1,338 @@
+"""The IETF-MPTCP baseline connection.
+
+One sender, one receiver, N TCP subflows. Connection-level chunks (one
+per packet, ``mss`` payload bytes) are sequenced by data sequence number
+(DSN), striped over subflows, retransmitted on the *same* subflow when
+lost (TCP semantics), and reassembled in DSN order through a bounded
+:class:`~repro.mptcp.recv_buffer.ReorderBuffer` whose capacity throttles
+the sender (flow control).
+
+Emitted trace records (shared vocabulary with FMTCP so metrics are
+protocol-agnostic):
+
+* ``conn.delivered`` — in-order bytes handed to the application.
+* ``conn.block_done`` — a block's worth of stream fully acknowledged at
+  the sender (field ``delay`` is the paper's block delivery delay).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.net.topology import Path
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceBus
+from repro.tcp.congestion import LiaGroup, make_controller
+from repro.tcp.rto import RtoEstimator
+from repro.tcp.subflow import Subflow, SubflowOwner, SubflowPacketInfo, SubflowSink
+from repro.mptcp.recv_buffer import ReorderBuffer
+from repro.mptcp.scheduler import make_scheduler
+
+
+@dataclass
+class MptcpConfig:
+    """Tunables of the baseline (defaults follow DESIGN.md §3)."""
+
+    mss: int = 1400
+    recv_buffer_chunks: int = 64
+    block_bytes: int = 8192
+    congestion: str = "reno"
+    scheduler: str = "minrtt"
+    initial_cwnd: float = 2.0
+    dup_ack_threshold: int = 3
+    min_rto: float = 0.2
+    # After this many timeouts of one chunk, reinject it on the currently
+    # best other subflow (production-MPTCP rescue behaviour; off by default
+    # to match the paper's baseline).
+    reinject_after_timeouts: Optional[int] = None
+    # Opportunistic retransmission and penalisation (Raiciu et al.,
+    # NSDI'12): when the connection is receive-window limited, reinject
+    # the head-of-line chunk on the best other subflow and halve the
+    # blocking subflow's window. Off by default (the paper's baseline
+    # predates it); the scheduler ablation measures how much of FMTCP's
+    # advantage survives this stronger baseline.
+    opportunistic_retransmission: bool = False
+
+
+class Chunk:
+    """One connection-level data unit (rides in exactly one packet)."""
+
+    __slots__ = ("dsn", "size", "payload_bytes", "first_sent_at", "timeouts")
+
+    def __init__(self, dsn: int, size: int, payload_bytes: Optional[bytes], sent_at: float):
+        self.dsn = dsn
+        self.size = size
+        self.payload_bytes = payload_bytes
+        self.first_sent_at = sent_at
+        self.timeouts = 0
+
+
+class MptcpFeedback:
+    """Receiver state piggybacked on every subflow ACK."""
+
+    __slots__ = ("data_ack", "advertised_window")
+
+    def __init__(self, data_ack: int, advertised_window: int):
+        self.data_ack = data_ack
+        self.advertised_window = advertised_window
+
+
+PullResult = Union[int, bytes, None]
+
+
+class MptcpConnection(SubflowOwner):
+    """Sender + receiver pair of the baseline protocol."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        paths: Sequence[Path],
+        source,
+        config: Optional[MptcpConfig] = None,
+        trace: Optional[TraceBus] = None,
+        sink: Optional[Callable[[Chunk], None]] = None,
+    ):
+        if not paths:
+            raise ValueError("need at least one path")
+        self.sim = sim
+        self.config = config or MptcpConfig()
+        self.source = source
+        self.trace = trace
+        self.sink = sink
+        self.scheduler = make_scheduler(self.config.scheduler)
+
+        self.subflows: List[Subflow] = []
+        self._sinks: List[SubflowSink] = []
+        lia_group = LiaGroup() if self.config.congestion == "lia" else None
+        for index, path in enumerate(paths):
+            controller = make_controller(
+                self.config.congestion,
+                lia_group=lia_group,
+                rtt_provider=(lambda i=index: self.subflows[i].srtt),
+                initial_cwnd=self.config.initial_cwnd,
+            )
+            subflow = Subflow(
+                sim=sim,
+                path=path,
+                owner=self,
+                subflow_id=index,
+                congestion=controller,
+                rto=RtoEstimator(min_rto=self.config.min_rto),
+                mss=self.config.mss,
+                dup_ack_threshold=self.config.dup_ack_threshold,
+                trace=trace,
+            )
+            self.subflows.append(subflow)
+            self._sinks.append(
+                SubflowSink(
+                    sim=sim,
+                    path=path,
+                    subflow=subflow,
+                    on_segment=self._receiver_on_segment,
+                    feedback_provider=self._receiver_feedback,
+                    trace=trace,
+                )
+            )
+
+        # ---- sender state ----
+        self._next_dsn = 0
+        self._data_acked = 0
+        self._chunk_sizes: Dict[int, int] = {}
+        self._retx_queues: Dict[int, Deque[Chunk]] = {
+            subflow.subflow_id: deque() for subflow in self.subflows
+        }
+        self._block_first_tx: Dict[int, float] = {}
+        self._pulled_stream_bytes = 0
+        self._completed_blocks = 0
+        self._acked_bytes = 0
+        self.chunks_retransmitted = 0
+        self.chunks_reinjected = 0
+        self.orp_reinjections = 0
+        self.orp_penalties = 0
+        self._orp_last_dsn = -1
+        self._chunk_registry: Dict[int, Tuple[int, Chunk]] = {}
+
+        # ---- receiver state ----
+        self._reorder = ReorderBuffer(self.config.recv_buffer_chunks)
+        self.delivered_bytes = 0
+        self.delivered_chunks = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin transmitting (call once the simulation is assembled)."""
+        self.pump()
+
+    def pump(self) -> None:
+        """Offer transmission opportunities to every subflow."""
+        for subflow in self.subflows:
+            subflow.pump()
+
+    def close(self) -> None:
+        for subflow in self.subflows:
+            subflow.close()
+        for sink in self._sinks:
+            sink.close()
+
+    # ------------------------------------------------------------------
+    # Sender side: SubflowOwner interface.
+    # ------------------------------------------------------------------
+    def next_payload(self, subflow: Subflow) -> Optional[Tuple[Any, int]]:
+        retx_queue = self._retx_queues[subflow.subflow_id]
+        while retx_queue:
+            chunk = retx_queue.popleft()
+            if chunk.dsn < self._data_acked:
+                continue  # Delivered meanwhile via another copy.
+            self.chunks_retransmitted += 1
+            self._chunk_registry[chunk.dsn] = (subflow.subflow_id, chunk)
+            return chunk, chunk.size
+
+        credit = self.config.recv_buffer_chunks - (self._next_dsn - self._data_acked)
+        if credit <= 0:
+            if self.config.opportunistic_retransmission:
+                reinjection = self._opportunistic_retransmit(subflow)
+                if reinjection is not None:
+                    return reinjection
+            return None
+        # Waterfall arbitration: more-preferred subflows (per the scheduler,
+        # lowest SRTT by default) get first claim on scarce send credit; this
+        # subflow may only take a chunk from what they cannot use.
+        reserved = 0
+        for candidate in self.scheduler.preference_order(self.subflows):
+            if candidate is subflow:
+                break
+            reserved += candidate.window_space
+        if credit <= reserved:
+            return None
+
+        pulled: PullResult = self.source.pull(self.config.mss)
+        if not pulled:
+            return None
+        if isinstance(pulled, bytes):
+            size = len(pulled)
+            payload_bytes: Optional[bytes] = pulled
+        else:
+            size = int(pulled)
+            payload_bytes = None
+        chunk = Chunk(self._next_dsn, size, payload_bytes, self.sim.now)
+        self._chunk_registry[chunk.dsn] = (subflow.subflow_id, chunk)
+        self._next_dsn += 1
+        self._chunk_sizes[chunk.dsn] = size
+        block_id = self._block_of_offset(self._pulled_stream_bytes)
+        self._pulled_stream_bytes += size
+        self._block_first_tx.setdefault(block_id, self.sim.now)
+        return chunk, size
+
+    def on_payload_lost(self, subflow: Subflow, info: SubflowPacketInfo, reason: str) -> None:
+        chunk: Chunk = info.payload
+        if chunk.dsn < self._data_acked:
+            return  # Already delivered; nothing to repair.
+        if reason == "timeout":
+            chunk.timeouts += 1
+            limit = self.config.reinject_after_timeouts
+            if limit is not None and chunk.timeouts >= limit and len(self.subflows) > 1:
+                target = self._best_other_subflow(subflow)
+                self._retx_queues[target.subflow_id].append(chunk)
+                self.chunks_reinjected += 1
+                target.pump()
+                return
+        self._retx_queues[subflow.subflow_id].append(chunk)
+
+    def on_ack_feedback(self, subflow: Subflow, feedback: MptcpFeedback) -> None:
+        if feedback.data_ack <= self._data_acked:
+            return
+        for dsn in range(self._data_acked, feedback.data_ack):
+            self._acked_bytes += self._chunk_sizes.pop(dsn, self.config.mss)
+            self._chunk_registry.pop(dsn, None)
+        self._data_acked = feedback.data_ack
+        self._emit_completed_blocks()
+        # Credit may have opened for every subflow, not just the ACKed one.
+        self.pump()
+
+    def _opportunistic_retransmit(self, subflow: Subflow):
+        """NSDI'12 ORP: when rwnd-limited, re-send the head-of-line chunk
+        on this (non-blocking) subflow and penalise the blocker."""
+        hol_dsn = self._data_acked
+        entry = self._chunk_registry.get(hol_dsn)
+        if entry is None:
+            return None
+        blocker_id, chunk = entry
+        if blocker_id == subflow.subflow_id:
+            return None  # we ARE the blocking subflow
+        if hol_dsn == self._orp_last_dsn:
+            return None  # already reinjected this head-of-line chunk
+        self._orp_last_dsn = hol_dsn
+        blocker = self.subflows[blocker_id]
+        blocker.cc.on_fast_loss()  # the penalisation half of ORP
+        self.orp_penalties += 1
+        self.orp_reinjections += 1
+        self._chunk_registry[hol_dsn] = (subflow.subflow_id, chunk)
+        return chunk, chunk.size
+
+    def _best_other_subflow(self, excluded: Subflow) -> Subflow:
+        candidates = [s for s in self.subflows if s is not excluded]
+        return min(candidates, key=lambda s: (s.srtt, s.subflow_id))
+
+    # ------------------------------------------------------------------
+    # Block accounting (paper Section V: stream partitioned into blocks
+    # of the same length as FMTCP's, delay measured per block).
+    # ------------------------------------------------------------------
+    def _block_of_offset(self, offset: int) -> int:
+        return offset // self.config.block_bytes
+
+    def _emit_completed_blocks(self) -> None:
+        while self._acked_bytes >= (self._completed_blocks + 1) * self.config.block_bytes:
+            block_id = self._completed_blocks
+            started = self._block_first_tx.pop(block_id, None)
+            if started is not None and self.trace is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "conn.block_done",
+                    block_id=block_id,
+                    delay=self.sim.now - started,
+                )
+            self._completed_blocks += 1
+
+    # ------------------------------------------------------------------
+    # Receiver side.
+    # ------------------------------------------------------------------
+    def _receiver_on_segment(self, subflow_id: int, segment) -> None:
+        chunk: Chunk = segment.payload
+        for __, delivered in self._reorder.insert(chunk.dsn, chunk):
+            self.delivered_bytes += delivered.size
+            self.delivered_chunks += 1
+            if self.sink is not None:
+                self.sink(delivered)
+            if self.trace is not None and self.trace.has_subscribers("conn.delivered"):
+                self.trace.emit(
+                    self.sim.now,
+                    "conn.delivered",
+                    bytes=delivered.size,
+                    dsn=delivered.dsn,
+                )
+
+    def _receiver_feedback(self, subflow_id: int, segment) -> MptcpFeedback:
+        return MptcpFeedback(
+            data_ack=self._reorder.next_expected,
+            advertised_window=self._reorder.advertised_window,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def data_acked(self) -> int:
+        return self._data_acked
+
+    @property
+    def reorder_buffer(self) -> ReorderBuffer:
+        return self._reorder
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MptcpConnection subflows={len(self.subflows)} "
+            f"dsn={self._next_dsn} acked={self._data_acked}>"
+        )

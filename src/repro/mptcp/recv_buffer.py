@@ -1,0 +1,74 @@
+"""Connection-level reorder buffer.
+
+Holds out-of-order chunks until the in-order gap fills. Its capacity is
+what the receiver advertises back to the sender; when a chunk lost on a
+slow subflow leaves a gap, the buffer fills with data from the fast
+subflow and the advertised window collapses — the "receive buffer
+blocking" of Iyengar et al. that the paper's Section II discusses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+
+class ReorderBuffer:
+    """In-order assembly of connection-sequenced chunks.
+
+    Sequence numbers are chunk indices (packet-based sequencing, as in the
+    rest of the substrate). The sender's flow control must guarantee
+    occupancy never exceeds ``capacity``; :meth:`insert` enforces that
+    invariant with an exception rather than a silent drop, because
+    acknowledged TCP data can never legally vanish.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buffered: Dict[int, Any] = {}
+        self.next_expected = 0
+        self.duplicates = 0
+        self.high_watermark = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._buffered)
+
+    @property
+    def advertised_window(self) -> int:
+        """Chunks the sender may still have outstanding beyond delivery."""
+        return self.capacity - len(self._buffered)
+
+    def insert(self, seq: int, chunk: Any) -> List[Tuple[int, Any]]:
+        """Insert chunk ``seq``; returns the chunks that became deliverable.
+
+        Old or duplicate sequence numbers are counted and ignored.
+        """
+        if seq < self.next_expected or seq in self._buffered:
+            self.duplicates += 1
+            return []
+        if seq == self.next_expected:
+            delivered = [(seq, chunk)]
+            self.next_expected += 1
+            while self.next_expected in self._buffered:
+                delivered.append(
+                    (self.next_expected, self._buffered.pop(self.next_expected))
+                )
+                self.next_expected += 1
+            return delivered
+        if len(self._buffered) >= self.capacity:
+            raise OverflowError(
+                f"reorder buffer overflow at seq {seq}: flow control must "
+                f"prevent more than {self.capacity} out-of-order chunks"
+            )
+        self._buffered[seq] = chunk
+        if len(self._buffered) > self.high_watermark:
+            self.high_watermark = len(self._buffered)
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ReorderBuffer next={self.next_expected} "
+            f"buffered={len(self._buffered)}/{self.capacity}>"
+        )

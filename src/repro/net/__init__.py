@@ -1,0 +1,44 @@
+"""Packet-level network substrate (the ns-2 stand-in).
+
+Provides hosts, source-routed forwarding, duplex links with bandwidth,
+propagation delay and drop-tail queueing, pluggable loss models (Bernoulli,
+scheduled/time-varying, Gilbert–Elliott), and topology builders — including
+the paper's two-disjoint-path topology.
+"""
+
+from repro.net.loss import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    LossModel,
+    NoLoss,
+    ReplayLoss,
+    ScheduledLoss,
+    record_loss_trace,
+)
+from repro.net.link import Link
+from repro.net.monitors import QueueMonitor, UtilisationMonitor
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue, RedQueue
+from repro.net.topology import Network, Path, PathConfig, build_two_path_network
+
+__all__ = [
+    "BernoulliLoss",
+    "DropTailQueue",
+    "GilbertElliottLoss",
+    "Link",
+    "LossModel",
+    "Network",
+    "NoLoss",
+    "QueueMonitor",
+    "Node",
+    "Packet",
+    "RedQueue",
+    "ReplayLoss",
+    "Path",
+    "PathConfig",
+    "ScheduledLoss",
+    "UtilisationMonitor",
+    "build_two_path_network",
+    "record_loss_trace",
+]

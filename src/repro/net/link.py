@@ -1,0 +1,108 @@
+"""Unidirectional links: serialisation delay + propagation delay + loss.
+
+A link models the classic store-and-forward pipeline: packets wait in a
+drop-tail queue while the link serialises the packet in service
+(``size * 8 / bandwidth`` seconds), then propagate for ``delay`` seconds,
+during which the link is already free to serialise the next packet. Loss
+is sampled when the packet leaves the wire (an erasure en route).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.net.loss import LossModel, NoLoss
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceBus
+
+
+class Link:
+    """One direction of a network link between two nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        dst_node,
+        bandwidth_bps: float,
+        delay_s: float,
+        loss_model: Optional[LossModel] = None,
+        queue: Optional[DropTailQueue] = None,
+        rng: Optional[random.Random] = None,
+        trace: Optional[TraceBus] = None,
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if delay_s < 0:
+            raise ValueError(f"delay must be non-negative, got {delay_s}")
+        self.sim = sim
+        self.name = name
+        self.dst_node = dst_node
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.delay_s = float(delay_s)
+        self.loss_model = loss_model if loss_model is not None else NoLoss()
+        # `queue or ...` would discard a provided *empty* queue (it has
+        # __len__ and is falsy), so compare against None explicitly.
+        self.queue = queue if queue is not None else DropTailQueue()
+        self.rng = rng or random.Random(0)
+        self.trace = trace
+        self._busy = False
+        # Counters for link-level accounting in tests and the Table I bench.
+        self.packets_sent = 0
+        self.packets_dropped_loss = 0
+        self.packets_dropped_queue = 0
+        self.packets_delivered = 0
+        self.bytes_delivered = 0
+
+    def transmission_time(self, packet: Packet) -> float:
+        """Serialisation delay of ``packet`` on this link."""
+        return packet.size * 8.0 / self.bandwidth_bps
+
+    def send(self, packet: Packet) -> None:
+        """Entry point: queue the packet or start serialising immediately."""
+        if self._busy:
+            if not self.queue.try_enqueue(packet):
+                self.packets_dropped_queue += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        self.sim.now, "link.drop_queue", link=self.name, packet=packet
+                    )
+            return
+        self._start_transmission(packet)
+
+    def _start_transmission(self, packet: Packet) -> None:
+        self._busy = True
+        self.packets_sent += 1
+        self.sim.schedule(self.transmission_time(packet), self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        # The wire is free again; pull the next queued packet, if any.
+        self._busy = False
+        next_packet = self.queue.dequeue()
+        if next_packet is not None:
+            self._start_transmission(next_packet)
+
+        if self.loss_model.should_drop(self.sim.now, self.rng):
+            self.packets_dropped_loss += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "link.drop_loss", link=self.name, packet=packet
+                )
+            return
+        self.sim.schedule(self.delay_s, self._deliver, packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.packets_delivered += 1
+        self.bytes_delivered += packet.size
+        if self.trace is not None and self.trace.has_subscribers("link.deliver"):
+            self.trace.emit(self.sim.now, "link.deliver", link=self.name, packet=packet)
+        self.dst_node.receive(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Link {self.name} {self.bandwidth_bps / 1e6:.1f}Mbps "
+            f"{self.delay_s * 1e3:.1f}ms loss={self.loss_model!r}>"
+        )

@@ -1,0 +1,95 @@
+"""Periodic samplers for link and queue state.
+
+The trace bus reports *events*; these monitors sample *state* — queue
+occupancy, link utilisation — at a fixed period, producing the
+time-series a network operator would plot. Used by tests to verify
+queueing behaviour (bufferbloat under Reno, RED keeping queues short) and
+available for diagnostics in experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.net.link import Link
+from repro.sim.engine import Simulator
+
+
+class QueueMonitor:
+    """Samples a link's queue depth every ``period_s`` seconds."""
+
+    def __init__(self, sim: Simulator, link: Link, period_s: float = 0.1):
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.sim = sim
+        self.link = link
+        self.period_s = period_s
+        self.samples: List[Tuple[float, int]] = []
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.schedule(self.period_s, self._sample)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        self.samples.append((self.sim.now, len(self.link.queue)))
+        self.sim.schedule(self.period_s, self._sample)
+
+    def mean_depth(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(depth for __, depth in self.samples) / len(self.samples)
+
+    def max_depth(self) -> int:
+        if not self.samples:
+            return 0
+        return max(depth for __, depth in self.samples)
+
+
+class UtilisationMonitor:
+    """Samples a link's delivered-byte throughput per period.
+
+    Utilisation is measured against the link's configured bandwidth, so a
+    value of 1.0 means the wire was busy for the whole period.
+    """
+
+    def __init__(self, sim: Simulator, link: Link, period_s: float = 1.0):
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.sim = sim
+        self.link = link
+        self.period_s = period_s
+        self.samples: List[Tuple[float, float]] = []
+        self._last_bytes = 0
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._last_bytes = self.link.bytes_delivered
+        self.sim.schedule(self.period_s, self._sample)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        delivered = self.link.bytes_delivered - self._last_bytes
+        self._last_bytes = self.link.bytes_delivered
+        utilisation = delivered * 8.0 / self.period_s / self.link.bandwidth_bps
+        self.samples.append((self.sim.now, utilisation))
+        self.sim.schedule(self.period_s, self._sample)
+
+    def mean_utilisation(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(value for __, value in self.samples) / len(self.samples)

@@ -1,0 +1,26 @@
+"""Discrete-event simulation core.
+
+This package is the ns-2 replacement used by the whole reproduction: a
+deterministic, heap-based event scheduler (:mod:`repro.sim.engine`),
+named reproducible random-number streams (:mod:`repro.sim.rng`), restartable
+timers (:mod:`repro.sim.timers`) and a lightweight trace bus
+(:mod:`repro.sim.trace`).
+"""
+
+from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.timers import Timer
+from repro.sim.trace import TraceBus, TraceRecord
+from repro.sim.tracefile import TraceFileWriter, read_trace_file
+
+__all__ = [
+    "Event",
+    "RngStreams",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "TraceBus",
+    "TraceFileWriter",
+    "TraceRecord",
+    "read_trace_file",
+]

@@ -1,0 +1,150 @@
+"""Heap-based discrete-event scheduler.
+
+The engine executes callbacks at simulated timestamps. Determinism is a
+hard requirement for the reproduction (every figure must be regenerable
+bit-for-bit from a seed), so ties in time are broken by a monotonically
+increasing insertion sequence number rather than by object identity.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised on scheduler misuse (negative delays, running twice, ...)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Simulator.schedule` so callers can cancel
+    them later. A cancelled event stays in the heap but is skipped when it
+    reaches the front (lazy deletion), which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.6f} seq={self.seq} fn={self.fn!r}{state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, print, "hello at t=1")
+        sim.run(until=10.0)
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (for progress reporting)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time!r} < now={self._now!r}"
+            )
+        event = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def stop(self) -> None:
+        """Stop the run loop after the current callback returns."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Execute events in timestamp order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event is strictly later than this time; the
+            clock is then advanced to ``until``. ``None`` runs to exhaustion.
+        max_events:
+            Safety valve for tests; stop after this many callbacks.
+        """
+        if self._running:
+            raise SimulationError("run() re-entered")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._heap and not self._stopped:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.fn(*event.args)
+                self._processed += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+
+    def drain_cancelled(self) -> int:
+        """Compact the heap by dropping cancelled events; returns the count.
+
+        Long simulations with many restarted timers accumulate tombstones;
+        transports call this occasionally to bound memory.
+        """
+        before = len(self._heap)
+        live = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(live)
+        self._heap = live
+        return before - len(live)

@@ -1,0 +1,65 @@
+"""Restartable one-shot timers on top of the event scheduler.
+
+TCP code restarts its retransmission timer constantly; doing that with raw
+events means juggling cancellation handles everywhere. :class:`Timer`
+wraps the pattern: ``start`` (or ``restart``) arms it, ``stop`` disarms it,
+and the callback only fires if the timer is still armed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Event, Simulator
+
+
+class Timer:
+    """A one-shot timer that can be (re)started and stopped.
+
+    The callback receives no arguments; capture what you need in a closure
+    or a bound method.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any], name: str = "timer"):
+        self._sim = sim
+        self._callback = callback
+        self.name = name
+        self._event: Optional[Event] = None
+        self._expiry: Optional[float] = None
+
+    @property
+    def armed(self) -> bool:
+        """Whether the timer is currently counting down."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expiry(self) -> Optional[float]:
+        """Absolute expiry time if armed, else ``None``."""
+        return self._expiry if self.armed else None
+
+    def start(self, delay: float) -> None:
+        """Arm the timer ``delay`` seconds from now, replacing any pending one."""
+        self.stop()
+        self._expiry = self._sim.now + delay
+        self._event = self._sim.schedule(delay, self._fire)
+
+    # ``restart`` reads better at call sites that are semantically restarts.
+    restart = start
+
+    def stop(self) -> None:
+        """Disarm the timer; a no-op if it is not armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        self._expiry = None
+
+    def _fire(self) -> None:
+        if self._event is None or self._event.cancelled:
+            return
+        self._event = None
+        self._expiry = None
+        self._callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"expires={self._expiry:.6f}" if self.armed else "idle"
+        return f"<Timer {self.name} {state}>"

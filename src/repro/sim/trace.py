@@ -1,0 +1,67 @@
+"""A minimal publish/subscribe trace bus.
+
+Network elements and transports publish structured records ("packet
+enqueued", "block decoded", ...); metric collectors subscribe to the kinds
+they care about. Keeping tracing out-of-band means the protocol code never
+depends on which metrics an experiment collects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: a timestamp, a kind, and free-form fields."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+Subscriber = Callable[[TraceRecord], None]
+
+
+class TraceBus:
+    """Routes :class:`TraceRecord` instances to subscribers by kind."""
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[str, List[Subscriber]] = {}
+        self._wildcard: List[Subscriber] = []
+
+    def subscribe(self, kind: str, fn: Subscriber) -> None:
+        """Receive records of ``kind``; ``"*"`` subscribes to everything."""
+        if kind == "*":
+            self._wildcard.append(fn)
+        else:
+            self._subscribers.setdefault(kind, []).append(fn)
+
+    def unsubscribe(self, kind: str, fn: Subscriber) -> None:
+        """Remove a subscription added with :meth:`subscribe`."""
+        pool = self._wildcard if kind == "*" else self._subscribers.get(kind, [])
+        if fn in pool:
+            pool.remove(fn)
+
+    def emit(self, time: float, kind: str, **fields: Any) -> None:
+        """Publish a record; cheap (no allocation) when nobody listens."""
+        targeted = self._subscribers.get(kind)
+        if not targeted and not self._wildcard:
+            return
+        record = TraceRecord(time=time, kind=kind, fields=fields)
+        if targeted:
+            for fn in targeted:
+                fn(record)
+        for fn in self._wildcard:
+            fn(record)
+
+    def has_subscribers(self, kind: str) -> bool:
+        """True if emitting ``kind`` would reach anyone (lets hot paths skip work)."""
+        return bool(self._subscribers.get(kind)) or bool(self._wildcard)

@@ -1,0 +1,76 @@
+"""JSONL trace export.
+
+Attach a :class:`TraceFileWriter` to a :class:`~repro.sim.trace.TraceBus`
+to persist selected (or all) trace records as JSON Lines — the simulation
+equivalent of an ns-2 trace file, consumable by external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List, Optional, Union
+
+from repro.sim.trace import TraceBus, TraceRecord
+
+
+def _jsonable(value):
+    """Best-effort conversion of trace field values to JSON scalars."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return repr(value)
+
+
+class TraceFileWriter:
+    """Streams trace records to a JSONL file (or any text stream)."""
+
+    def __init__(
+        self,
+        trace: TraceBus,
+        target: Union[str, IO[str]],
+        kinds: Optional[Iterable[str]] = None,
+    ):
+        self._owns_handle = isinstance(target, str)
+        self._handle: IO[str] = (
+            open(target, "w") if isinstance(target, str) else target
+        )
+        self._trace = trace
+        self._kinds: List[str] = list(kinds) if kinds is not None else ["*"]
+        self.records_written = 0
+        for kind in self._kinds:
+            trace.subscribe(kind, self._on_record)
+
+    def _on_record(self, record: TraceRecord) -> None:
+        entry = {"t": record.time, "kind": record.kind}
+        for key, value in record.fields.items():
+            entry[key] = _jsonable(value)
+        self._handle.write(json.dumps(entry) + "\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        """Detach from the bus and close the file (if we opened it)."""
+        for kind in self._kinds:
+            self._trace.unsubscribe(kind, self._on_record)
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "TraceFileWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_trace_file(path: str) -> List[dict]:
+    """Load a JSONL trace back into a list of dicts."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,41 @@
+"""TCP subflow machinery shared by the IETF-MPTCP baseline and FMTCP.
+
+* :mod:`repro.tcp.rto` — RFC 6298 retransmission-timeout estimation.
+* :mod:`repro.tcp.congestion` — Reno/NewReno-style and LIA-coupled
+  congestion control (packet-counted windows, as in ns-2).
+* :mod:`repro.tcp.subflow` — a congestion-controlled, SACK-style
+  loss-detecting packet channel over one network path. Retransmission
+  *policy* is delegated to the owning connection: MPTCP re-sends the lost
+  chunk, FMTCP sends fresh fountain symbols instead.
+"""
+
+from repro.tcp.congestion import (
+    CongestionController,
+    LiaCoupledController,
+    LiaGroup,
+    RenoController,
+)
+from repro.tcp.rto import RtoEstimator
+from repro.tcp.stream import TcpConfig, TcpConnection
+from repro.tcp.subflow import (
+    Subflow,
+    SubflowAck,
+    SubflowOwner,
+    SubflowPacketInfo,
+    SubflowSegment,
+)
+
+__all__ = [
+    "CongestionController",
+    "LiaCoupledController",
+    "LiaGroup",
+    "RenoController",
+    "RtoEstimator",
+    "Subflow",
+    "TcpConfig",
+    "TcpConnection",
+    "SubflowAck",
+    "SubflowOwner",
+    "SubflowPacketInfo",
+    "SubflowSegment",
+]

@@ -1,0 +1,411 @@
+"""A congestion-controlled subflow over one network path.
+
+This is the piece of TCP both protocols share: packet-sequenced
+transmission under a congestion window, RTT/RTO estimation, per-packet
+ACKs, and SACK-style loss detection (a packet is declared lost after
+``dup_ack_threshold`` later packets are acknowledged, or on RTO).
+
+What happens *after* a loss is the owning connection's decision, exposed
+through the :class:`SubflowOwner` interface:
+
+* the IETF-MPTCP baseline re-enqueues the lost connection-level chunk
+  (classic retransmission);
+* FMTCP merely releases the window space — the allocation algorithm will
+  fill the next transmission opportunity with freshly generated fountain
+  symbols for whichever block still needs them (Section III of the paper:
+  "lost packets do not need to be retransmitted").
+
+Subflow sequence numbers are therefore *transmission identifiers*: they
+are never reused, which keeps RTT sampling Karn-safe and makes the ACK
+machinery trivial to reason about.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.net.topology import Path
+from repro.sim.engine import Simulator
+from repro.sim.timers import Timer
+from repro.sim.trace import TraceBus
+from repro.tcp.congestion import CongestionController, RenoController
+from repro.tcp.rto import RtoEstimator
+
+HEADER_BYTES = 40
+ACK_BYTES = 40
+
+
+class SubflowSegment:
+    """Wire payload of a data packet."""
+
+    __slots__ = ("seq", "payload")
+
+    def __init__(self, seq: int, payload: Any):
+        self.seq = seq
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Seg seq={self.seq}>"
+
+
+class SubflowAck:
+    """Wire payload of an ACK packet: which seq, plus owner feedback."""
+
+    __slots__ = ("echo_seq", "feedback")
+
+    def __init__(self, echo_seq: int, feedback: Any = None):
+        self.echo_seq = echo_seq
+        self.feedback = feedback
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Ack echo={self.echo_seq}>"
+
+
+class SubflowPacketInfo:
+    """Sender-side bookkeeping for one in-flight packet."""
+
+    __slots__ = ("seq", "payload", "size", "sent_at", "higher_acks")
+
+    def __init__(self, seq: int, payload: Any, size: int, sent_at: float):
+        self.seq = seq
+        self.payload = payload
+        self.size = size
+        self.sent_at = sent_at
+        self.higher_acks = 0
+
+
+class SubflowOwner:
+    """What a connection must provide to drive its subflows.
+
+    The default implementations make the owner optional in unit tests.
+    """
+
+    def next_payload(self, subflow: "Subflow") -> Optional[Tuple[Any, int]]:
+        """Return ``(payload, payload_bytes)`` to transmit, or ``None``."""
+        return None
+
+    def on_payload_delivered(self, subflow: "Subflow", info: SubflowPacketInfo) -> None:
+        """The packet carrying ``info.payload`` was acknowledged."""
+
+    def on_payload_lost(
+        self, subflow: "Subflow", info: SubflowPacketInfo, reason: str
+    ) -> None:
+        """The packet was declared lost (``reason`` in {"dupack", "timeout"})."""
+
+    def on_ack_feedback(self, subflow: "Subflow", feedback: Any) -> None:
+        """Receiver-side piggyback data arrived with an ACK."""
+
+
+class Subflow:
+    """Sender endpoint of one subflow."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path: Path,
+        owner: SubflowOwner,
+        subflow_id: int = 0,
+        congestion: Optional[CongestionController] = None,
+        rto: Optional[RtoEstimator] = None,
+        mss: int = 1400,
+        dup_ack_threshold: int = 3,
+        loss_ewma_gain: float = 0.05,
+        trace: Optional[TraceBus] = None,
+    ):
+        self.sim = sim
+        self.path = path
+        self.owner = owner
+        self.subflow_id = subflow_id
+        self.cc = congestion or RenoController()
+        self.rto = rto or RtoEstimator()
+        self.mss = mss
+        self.dup_ack_threshold = dup_ack_threshold
+        self.loss_ewma_gain = loss_ewma_gain
+        self.trace = trace
+
+        self.src_node = path.src_node
+        self.dst_node = path.dst_node
+        self.src_port = self.src_node.allocate_port()
+        self.dst_port = self.dst_node.allocate_port()
+        self.src_node.bind(self.src_port, self._on_ack_packet)
+
+        self._next_seq = 0
+        self._outstanding: Dict[int, SubflowPacketInfo] = {}
+        self._declared_lost: set = set()
+        self._recovery_until = -1
+        self._timer = Timer(sim, self._on_rto, name=f"rto[{subflow_id}]")
+
+        # Statistics / estimator state.
+        self.loss_rate_estimate = 0.0
+        self.last_transmit_at = 0.0
+        self.last_ack_at: Optional[float] = None
+        self.last_loss_observed_at: Optional[float] = None
+        self._loss_estimate_primed = False
+        self.packets_sent = 0
+        self.packets_acked = 0
+        self.packets_lost_dupack = 0
+        self.packets_lost_timeout = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Introspection used by schedulers (EAT/EDT need these).
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return len(self._outstanding)
+
+    @property
+    def window_space(self) -> int:
+        """Packets the congestion window still allows (w_f in the paper)."""
+        return max(0, self.cc.window - self.in_flight)
+
+    @property
+    def srtt(self) -> float:
+        """Smoothed RTT; falls back to 2x propagation delay before samples."""
+        if self.rto.srtt is not None:
+            return self.rto.srtt
+        return 2.0 * self.path.one_way_delay_s
+
+    @property
+    def rto_value(self) -> float:
+        return self.rto.rto
+
+    @property
+    def tau(self) -> float:
+        """Time since the oldest unacknowledged packet was sent (τ_f)."""
+        if not self._outstanding:
+            return 0.0
+        oldest = min(info.sent_at for info in self._outstanding.values())
+        return self.sim.now - oldest
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    def outstanding_payloads(self):
+        """(seq, payload) of every in-flight packet, in sequence order.
+
+        Lets Go-Back-N-style owners (the fixed-rate baseline) see what was
+        sent after a lost packet.
+        """
+        return sorted(
+            ((seq, info.payload) for seq, info in self._outstanding.items()),
+            key=lambda item: item[0],
+        )
+
+    # ------------------------------------------------------------------
+    # Transmission.
+    # ------------------------------------------------------------------
+    def pump(self) -> None:
+        """Fill the congestion window from the owner's payload supply."""
+        while self.cc.can_send(self.in_flight):
+            supplied = self.owner.next_payload(self)
+            if supplied is None:
+                return
+            payload, size = supplied
+            self._transmit(payload, size)
+
+    def _transmit(self, payload: Any, size: int) -> None:
+        if size <= 0 or size > self.mss:
+            raise ValueError(f"payload size {size} outside (0, mss={self.mss}]")
+        seq = self._next_seq
+        self._next_seq += 1
+        info = SubflowPacketInfo(seq, payload, size, self.sim.now)
+        self._outstanding[seq] = info
+        packet = Packet(
+            size=size + HEADER_BYTES,
+            src=self.src_node.name,
+            dst=self.dst_node.name,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            payload=SubflowSegment(seq, payload),
+            flow_label=f"sf{self.subflow_id}",
+        )
+        packet.sent_at = self.sim.now
+        self.last_transmit_at = self.sim.now
+        self.packets_sent += 1
+        self.bytes_sent += packet.size
+        if not self._timer.armed:
+            self._timer.start(self.rto.rto)
+        if self.trace is not None and self.trace.has_subscribers("subflow.send"):
+            self.trace.emit(
+                self.sim.now, "subflow.send", subflow=self.subflow_id, seq=seq, size=size
+            )
+        self.path.send_forward(packet)
+
+    # ------------------------------------------------------------------
+    # ACK processing and loss detection.
+    # ------------------------------------------------------------------
+    def _on_ack_packet(self, packet: Packet) -> None:
+        ack: SubflowAck = packet.payload
+        seq = ack.echo_seq
+        info = self._outstanding.pop(seq, None)
+        if info is not None:
+            self.packets_acked += 1
+            self.last_ack_at = self.sim.now
+            self.rto.on_measurement(self.sim.now - info.sent_at)
+            self._observe_loss_outcome(lost=False)
+            self.cc.on_ack(1)
+            self.owner.on_payload_delivered(self, info)
+            self._detect_dupack_losses(seq)
+        elif seq in self._declared_lost:
+            # Spurious loss declaration: the packet made it after all. The
+            # conservative reaction (window already reduced) is kept; we
+            # only tidy the tombstone.
+            self._declared_lost.discard(seq)
+        # Feedback rides on every ACK, even for packets we gave up on.
+        if ack.feedback is not None:
+            self.owner.on_ack_feedback(self, ack.feedback)
+        self._restart_or_stop_timer()
+        self.pump()
+
+    def _detect_dupack_losses(self, acked_seq: int) -> None:
+        newly_lost = []
+        for seq, info in self._outstanding.items():
+            if seq < acked_seq:
+                info.higher_acks += 1
+                if info.higher_acks >= self.dup_ack_threshold:
+                    newly_lost.append(seq)
+        for seq in newly_lost:
+            self._declare_lost(seq, "dupack")
+
+    def _declare_lost(self, seq: int, reason: str) -> None:
+        info = self._outstanding.pop(seq, None)
+        if info is None:
+            return
+        self._declared_lost.add(seq)
+        if len(self._declared_lost) > 20_000:
+            horizon = self._next_seq - 10_000
+            self._declared_lost = {s for s in self._declared_lost if s >= horizon}
+        self._observe_loss_outcome(lost=True)
+        if reason == "dupack":
+            self.packets_lost_dupack += 1
+            # Halve at most once per recovery episode (NewReno behaviour).
+            if seq >= self._recovery_until:
+                self.cc.on_fast_loss()
+                self._recovery_until = self._next_seq
+        else:
+            self.packets_lost_timeout += 1
+            self.cc.on_timeout()
+            self._recovery_until = self._next_seq
+        if self.trace is not None and self.trace.has_subscribers("subflow.loss"):
+            self.trace.emit(
+                self.sim.now,
+                "subflow.loss",
+                subflow=self.subflow_id,
+                seq=seq,
+                reason=reason,
+            )
+        self.owner.on_payload_lost(self, info, reason)
+
+    def _on_rto(self) -> None:
+        if not self._outstanding:
+            return
+        # Go-back-N semantics: a retransmission timeout gives up on the
+        # whole outstanding window (classic TCP retransmits from snd_una;
+        # recovering one packet per backed-off RTO would serialise multi-
+        # loss recovery into multi-second stalls). The congestion window
+        # collapses once (cc.on_timeout in the first _declare_lost; later
+        # calls are idempotent at cwnd=1).
+        self.rto.on_timeout()
+        for seq in sorted(self._outstanding, key=lambda s: self._outstanding[s].sent_at):
+            self._declare_lost(seq, "timeout")
+        self._restart_or_stop_timer()
+        self.pump()
+
+    def _restart_or_stop_timer(self) -> None:
+        if self._outstanding:
+            self._timer.restart(self.rto.rto)
+        else:
+            self._timer.stop()
+
+    def aged_loss_estimate(self, half_life_s: Optional[float]) -> float:
+        """Loss estimate discounted by how long ago the last loss was seen.
+
+        An estimate that can only improve through transmissions the
+        scheduler refuses to make would pin a recovered path at "dead"
+        forever; halving the estimate every ``half_life_s`` of loss-free
+        time lets stale pessimism expire. ``None`` disables aging.
+        """
+        estimate = self.loss_rate_estimate
+        if half_life_s is None or estimate <= 0.0:
+            return estimate
+        if self.last_loss_observed_at is None:
+            return estimate
+        quiet_time = self.sim.now - self.last_loss_observed_at
+        return estimate * 2.0 ** (-quiet_time / half_life_s)
+
+    def _observe_loss_outcome(self, lost: bool) -> None:
+        sample = 1.0 if lost else 0.0
+        if lost:
+            self.last_loss_observed_at = self.sim.now
+        if not self._loss_estimate_primed:
+            self.loss_rate_estimate = sample
+            self._loss_estimate_primed = True
+        else:
+            gain = self.loss_ewma_gain
+            self.loss_rate_estimate = (1 - gain) * self.loss_rate_estimate + gain * sample
+
+    def close(self) -> None:
+        """Stop timers and release the port (ends a simulation cleanly)."""
+        self._timer.stop()
+        self.src_node.unbind(self.src_port)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Subflow {self.subflow_id} cwnd={self.cc.cwnd:.1f} "
+            f"inflight={self.in_flight} p={self.loss_rate_estimate:.3f}>"
+        )
+
+
+class SubflowSink:
+    """Receiver endpoint of one subflow: ACK every data packet.
+
+    ``feedback_provider(subflow_id, segment)`` is called after the segment
+    is handed to the connection receiver and returns the object to
+    piggyback on the ACK (FMTCP's k̄ map, MPTCP's data-level ACK, ...).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path: Path,
+        subflow: Subflow,
+        on_segment,
+        feedback_provider=None,
+        trace: Optional[TraceBus] = None,
+    ):
+        self.sim = sim
+        self.path = path
+        self.subflow_id = subflow.subflow_id
+        self._on_segment = on_segment
+        self._feedback_provider = feedback_provider
+        self.trace = trace
+        self._src_port = subflow.src_port
+        self._dst_port = subflow.dst_port
+        self.dst_node = path.dst_node
+        self.src_node = path.src_node
+        self.dst_node.bind(self._dst_port, self._on_data_packet)
+        self.packets_received = 0
+
+    def _on_data_packet(self, packet: Packet) -> None:
+        segment: SubflowSegment = packet.payload
+        self.packets_received += 1
+        self._on_segment(self.subflow_id, segment)
+        feedback = None
+        if self._feedback_provider is not None:
+            feedback = self._feedback_provider(self.subflow_id, segment)
+        ack_packet = Packet(
+            size=ACK_BYTES,
+            src=self.dst_node.name,
+            dst=self.src_node.name,
+            src_port=self._dst_port,
+            dst_port=self._src_port,
+            payload=SubflowAck(segment.seq, feedback),
+            flow_label=f"ack{self.subflow_id}",
+        )
+        self.path.send_reverse(ack_packet)
+
+    def close(self) -> None:
+        self.dst_node.unbind(self._dst_port)

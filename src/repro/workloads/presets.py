@@ -1,0 +1,82 @@
+"""Named path presets for realistic multi-homing scenarios.
+
+The paper's Table I sweeps abstract (delay, loss) pairs; users composing
+their own scenarios usually think in terms of access technologies. These
+presets encode typical 2012-era figures for each (bandwidth, one-way
+delay, loss, burstiness) as :class:`~repro.net.topology.PathConfig`
+factories. Factories return *fresh* configs on every call because loss
+models carry per-run state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.net.loss import GilbertElliottLoss
+from repro.net.topology import PathConfig
+
+PresetFactory = Callable[[], PathConfig]
+
+
+def ethernet() -> PathConfig:
+    """Wired LAN/broadband leg: fast, short, clean."""
+    return PathConfig(bandwidth_bps=20e6, delay_s=0.005, loss_rate=0.0)
+
+
+def dsl() -> PathConfig:
+    """Residential DSL: moderate rate, interleaver delay, near-clean."""
+    return PathConfig(bandwidth_bps=8e6, delay_s=0.020, loss_rate=0.001)
+
+
+def wifi() -> PathConfig:
+    """802.11 in a busy environment: decent rate, bursty residual loss."""
+    return PathConfig(
+        bandwidth_bps=12e6,
+        delay_s=0.015,
+        loss_model=GilbertElliottLoss(
+            p_gb=0.005, p_bg=0.15, loss_good=0.002, loss_bad=0.25
+        ),
+    )
+
+
+def lte() -> PathConfig:
+    """Cellular LTE: moderate rate, higher delay, light loss."""
+    return PathConfig(bandwidth_bps=6e6, delay_s=0.045, loss_rate=0.01)
+
+
+def hspa_3g() -> PathConfig:
+    """3G data: low rate, high delay, noticeable loss."""
+    return PathConfig(bandwidth_bps=2e6, delay_s=0.090, loss_rate=0.03)
+
+
+def satellite() -> PathConfig:
+    """GEO satellite: plenty of rate, enormous propagation delay."""
+    return PathConfig(bandwidth_bps=10e6, delay_s=0.280, loss_rate=0.005)
+
+
+PRESETS: Dict[str, PresetFactory] = {
+    "ethernet": ethernet,
+    "dsl": dsl,
+    "wifi": wifi,
+    "lte": lte,
+    "3g": hspa_3g,
+    "satellite": satellite,
+}
+
+
+def paths_for(*names: str) -> List[PathConfig]:
+    """Build a multi-path scenario from preset names.
+
+    >>> configs = paths_for("wifi", "lte")
+    """
+    if not names:
+        raise ValueError("name at least one preset")
+    configs = []
+    for name in names:
+        factory = PRESETS.get(name)
+        if factory is None:
+            raise KeyError(
+                f"unknown preset {name!r}; available: {sorted(PRESETS)}"
+            )
+        configs.append(factory())
+    return configs

@@ -1,0 +1,141 @@
+"""Application traffic sources.
+
+A source answers ``pull(max_bytes)`` with how much data it can hand the
+transport right now: an ``int`` (synthetic bytes — the default, nothing is
+materialised), a ``bytes`` object (real payload, for end-to-end
+correctness tests), or ``0``/``None`` (app-limited / finished).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+from repro.sim.engine import Simulator
+
+PullResult = Union[int, bytes, None]
+
+
+class BulkSource:
+    """A backlogged sender: always has data, up to an optional total."""
+
+    def __init__(self, total_bytes: Optional[int] = None):
+        if total_bytes is not None and total_bytes < 0:
+            raise ValueError("total_bytes must be non-negative")
+        self.total_bytes = total_bytes
+        self.pulled_bytes = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.total_bytes is not None and self.pulled_bytes >= self.total_bytes
+
+    def pull(self, max_bytes: int) -> PullResult:
+        if self.total_bytes is None:
+            self.pulled_bytes += max_bytes
+            return max_bytes
+        remaining = self.total_bytes - self.pulled_bytes
+        if remaining <= 0:
+            return 0
+        granted = min(max_bytes, remaining)
+        self.pulled_bytes += granted
+        return granted
+
+
+class RandomPayloadSource:
+    """Finite source producing real random bytes (for real-coding tests).
+
+    Keeps a transcript of everything handed out so a test can compare the
+    receiver's reassembled stream byte-for-byte.
+    """
+
+    def __init__(self, total_bytes: int, rng: Optional[random.Random] = None):
+        if total_bytes < 0:
+            raise ValueError("total_bytes must be non-negative")
+        self._rng = rng or random.Random(0)
+        self.total_bytes = total_bytes
+        self.pulled_bytes = 0
+        self.transcript = bytearray()
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pulled_bytes >= self.total_bytes
+
+    def pull(self, max_bytes: int) -> PullResult:
+        remaining = self.total_bytes - self.pulled_bytes
+        if remaining <= 0:
+            return None
+        granted = min(max_bytes, remaining)
+        payload = bytes(self._rng.getrandbits(8) for __ in range(granted))
+        self.pulled_bytes += granted
+        self.transcript.extend(payload)
+        return payload
+
+
+class CbrSource:
+    """Constant-bit-rate source (the paper's multimedia-streaming workload).
+
+    Credit accrues continuously at ``rate_bps``; ``pull`` grants at most
+    the accrued credit. Because a CBR source can go from empty to ready
+    while the transport is idle, it must be attached to the connection so
+    it can re-offer transmission opportunities periodically.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        start_time: float = 0.0,
+        wake_interval: float = 0.01,
+        total_bytes: Optional[int] = None,
+    ):
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.start_time = start_time
+        self.wake_interval = wake_interval
+        self.total_bytes = total_bytes
+        self.pulled_bytes = 0
+        self._connection = None
+        self._wakeup_scheduled = False
+
+    def attach(self, connection) -> None:
+        """Register the connection to wake as credit accrues."""
+        self._connection = connection
+        self._schedule_wakeup()
+
+    def _schedule_wakeup(self) -> None:
+        if self._wakeup_scheduled or self._connection is None:
+            return
+        self._wakeup_scheduled = True
+        self.sim.schedule(self.wake_interval, self._wake)
+
+    def _wake(self) -> None:
+        self._wakeup_scheduled = False
+        if self._connection is not None:
+            self._connection.pump()
+        if self.total_bytes is None or self.pulled_bytes < self.total_bytes:
+            self._schedule_wakeup()
+
+    def _accrued(self) -> int:
+        elapsed = max(0.0, self.sim.now - self.start_time)
+        produced = int(elapsed * self.rate_bps / 8.0)
+        if self.total_bytes is not None:
+            produced = min(produced, self.total_bytes)
+        return produced
+
+    @property
+    def exhausted(self) -> bool:
+        return self.total_bytes is not None and self.pulled_bytes >= self.total_bytes
+
+    def pull(self, max_bytes: int) -> PullResult:
+        available = self._accrued() - self.pulled_bytes
+        if available <= 0:
+            return 0
+        granted = min(max_bytes, available)
+        self.pulled_bytes += granted
+        return granted
+
+    def creation_time_of(self, offset: int) -> float:
+        """When the byte at stream ``offset`` was produced by the encoder."""
+        return self.start_time + (offset + 1) * 8.0 / self.rate_bps

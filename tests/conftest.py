@@ -1,0 +1,59 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.topology import Network, PathConfig, build_two_path_network
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceBus
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def trace() -> TraceBus:
+    return TraceBus()
+
+
+@pytest.fixture
+def rng() -> RngStreams:
+    return RngStreams(1234)
+
+
+def make_two_path(
+    loss1: float = 0.0,
+    loss2: float = 0.0,
+    delay1: float = 0.010,
+    delay2: float = 0.010,
+    bandwidth: float = 8e6,
+    seed: int = 7,
+):
+    """A small, fast two-path network for transport tests."""
+    configs = [
+        PathConfig(bandwidth_bps=bandwidth, delay_s=delay1, loss_rate=loss1),
+        PathConfig(bandwidth_bps=bandwidth, delay_s=delay2, loss_rate=loss2),
+    ]
+    trace = TraceBus()
+    network, paths = build_two_path_network(
+        configs, rng=RngStreams(seed), trace=trace
+    )
+    return network, paths, trace
+
+
+def make_single_path(
+    loss: float = 0.0,
+    delay: float = 0.010,
+    bandwidth: float = 8e6,
+    seed: int = 7,
+):
+    configs = [PathConfig(bandwidth_bps=bandwidth, delay_s=delay, loss_rate=loss)]
+    trace = TraceBus()
+    network, paths = build_two_path_network(
+        configs, rng=RngStreams(seed), trace=trace
+    )
+    return network, paths[0], trace

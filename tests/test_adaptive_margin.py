@@ -1,0 +1,111 @@
+"""Tests for the adaptive completeness-margin controller (extension)."""
+
+import pytest
+
+from repro.core.blocks import BlockManager
+from repro.core.config import FmtcpConfig
+from repro.core.sender import FmtcpSender
+from repro.experiments.runner import run_transfer
+from repro.sim.engine import Simulator
+from repro.workloads.scenarios import TABLE1_CASES, table1_path_configs
+from repro.workloads.sources import BulkSource
+from tests.test_sender_internals import FakeSubflow
+
+
+def make_sender(**config_kwargs):
+    config = FmtcpConfig(adaptive_margin=True, **config_kwargs)
+    sim = Simulator()
+    manager = BlockManager(config, BulkSource())
+    sender = FmtcpSender(sim, config, manager)
+    sender.attach_subflows([FakeSubflow(0)])
+    return sender, config
+
+
+def complete_blocks(sender, n):
+    """Drive n confirmed decodes through the adaptation path."""
+    for __ in range(n):
+        sender.blocks.replenish()
+        block = sender.blocks.pending_blocks[0]
+        block.record_sent(0, 1, now=0.0)
+        sender._confirm_decoded(block.block_id)
+
+
+def test_margin_starts_at_configured_value():
+    sender, config = make_sender()
+    assert sender.margin == pytest.approx(config.completeness_margin)
+
+
+def test_miss_free_window_relaxes_margin():
+    sender, config = make_sender(adaptive_margin_window=10)
+    start = sender.margin
+    complete_blocks(sender, 10)
+    assert sender.margin == pytest.approx(start - 0.5)
+
+
+def test_margin_floor_respected():
+    sender, config = make_sender(adaptive_margin_window=1, adaptive_margin_floor=3.0)
+    complete_blocks(sender, 100)
+    assert sender.margin == pytest.approx(3.0)
+
+
+def test_misses_raise_margin():
+    sender, config = make_sender(adaptive_margin_window=5)
+    start = sender.margin
+    # Manufacture a quiescent under-complete block: enough generated, no
+    # in-flight, k_bar short of k.
+    sender.blocks.replenish()
+    victim = sender.blocks.pending_blocks[0]
+    victim.symbols_generated = victim.k + 5
+    victim.k_bar = victim.k - 2
+    sender._observe_prediction_misses()
+    assert victim.missed
+    assert sender._miss_count == 1
+    complete_blocks(sender, 5)
+    assert sender.margin == pytest.approx(start + 1.0)
+
+
+def test_miss_counted_once_per_block():
+    sender, __ = make_sender()
+    sender.blocks.replenish()
+    victim = sender.blocks.pending_blocks[0]
+    victim.symbols_generated = victim.k + 5
+    victim.k_bar = victim.k - 2
+    sender._observe_prediction_misses()
+    sender._observe_prediction_misses()
+    assert sender._miss_count == 1
+
+
+def test_margin_ceiling_respected():
+    sender, config = make_sender(
+        adaptive_margin_window=1, adaptive_margin_ceiling=12.0
+    )
+    for __ in range(10):
+        sender.blocks.replenish()
+        victim = sender.blocks.pending_blocks[0]
+        victim.symbols_generated = victim.k + 5
+        victim.k_bar = victim.k - 2
+        victim.missed = False
+        sender._observe_prediction_misses()
+        complete_blocks(sender, 1)
+    assert sender.margin <= 12.0
+
+
+def test_adaptive_mode_end_to_end():
+    config = FmtcpConfig(adaptive_margin=True)
+    result = run_transfer(
+        "fmtcp",
+        table1_path_configs(TABLE1_CASES[3]),
+        duration_s=15.0,
+        seed=1,
+        fmtcp_config=config,
+    )
+    assert result.extras["blocks_decoded"] > 100
+    # Clean-ish operation relaxes the margin below the static default.
+    fixed = run_transfer(
+        "fmtcp",
+        table1_path_configs(TABLE1_CASES[0]),
+        duration_s=15.0,
+        seed=1,
+        fmtcp_config=FmtcpConfig(adaptive_margin=True),
+    )
+    assert fixed.extras["blocks_decoded"] > 100

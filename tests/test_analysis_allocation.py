@@ -1,0 +1,87 @@
+"""Tests for the Section IV-C closed forms (Eqs. 16-17, Theorems 2-3)."""
+
+import pytest
+
+from repro.analysis.allocation import (
+    fmtcp_beats_mptcp_condition,
+    lemma1_min_r2,
+    mptcp_delivery_ratio,
+    theorem3_ratio_bound,
+)
+from repro.core.estimators import sedt
+
+
+def test_lemma1_formula():
+    r1, p1, p2 = 0.1, 0.05, 0.2
+    factor = ((1 + p1) * (1 - p2)) / ((1 - p1) * (1 + p2)) + 2 / (1 + p2)
+    assert lemma1_min_r2(r1, p1, p2) == pytest.approx(factor * r1)
+
+
+def test_lemma1_lossless_paths_threshold_is_three_r1():
+    # p1 = p2 = 0: factor = 1 + 2 = 3.
+    assert lemma1_min_r2(1.0, 0.0, 0.0) == pytest.approx(3.0)
+
+
+def test_lemma1_threshold_grows_with_p1():
+    assert lemma1_min_r2(1.0, 0.2, 0.1) > lemma1_min_r2(1.0, 0.0, 0.1)
+
+
+def test_theorem3_formula():
+    p1, p2, m = 0.01, 0.15, 3.0
+    expected = p2 + 2 * (1 - p1) / (1 + p1) + (1 - p2) * m
+    assert theorem3_ratio_bound(p1, p2, m) == pytest.approx(expected)
+
+
+def test_theorem3_bound_beats_mptcp_for_large_m():
+    p1, p2 = 0.01, 0.15
+    threshold = fmtcp_beats_mptcp_condition(p1, p2)
+    m_large = threshold * 1.5
+    assert theorem3_ratio_bound(p1, p2, m_large) < mptcp_delivery_ratio(m_large)
+
+
+def test_theorem3_bound_worse_for_small_m():
+    p1, p2 = 0.01, 0.15
+    threshold = fmtcp_beats_mptcp_condition(p1, p2)
+    m_small = threshold * 0.5
+    assert theorem3_ratio_bound(p1, p2, m_small) >= mptcp_delivery_ratio(m_small)
+
+
+def test_threshold_formula():
+    p1, p2 = 0.05, 0.2
+    expected = 1 + 2 * (1 - p1) / (p2 * (1 + p1))
+    assert fmtcp_beats_mptcp_condition(p1, p2) == pytest.approx(expected)
+
+
+def test_threshold_infinite_when_p2_zero():
+    assert fmtcp_beats_mptcp_condition(0.1, 0.0) == float("inf")
+
+
+def test_threshold_decreases_with_p2():
+    # The lossier the inferior path, the sooner FMTCP wins.
+    assert fmtcp_beats_mptcp_condition(0.01, 0.3) < fmtcp_beats_mptcp_condition(
+        0.01, 0.1
+    )
+
+
+def test_theorem2_sedt_ordering_numerical():
+    """SEDT preserves the EDT quality order across a parameter sweep."""
+    paths = [
+        (0.05, 0.0, 0.2),
+        (0.1, 0.02, 0.25),
+        (0.2, 0.05, 0.5),
+        (0.2, 0.15, 0.5),
+        (0.4, 0.15, 1.0),
+    ]
+    sedts = [sedt(rtt, loss, rto) for rtt, loss, rto in paths]
+    assert sedts == sorted(sedts)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        lemma1_min_r2(0.0, 0.1, 0.1)
+    with pytest.raises(ValueError):
+        theorem3_ratio_bound(0.1, 1.0, 2.0)
+    with pytest.raises(ValueError):
+        theorem3_ratio_bound(0.1, 0.1, 0.0)
+    with pytest.raises(ValueError):
+        mptcp_delivery_ratio(-1.0)

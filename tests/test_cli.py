@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for command in (
+        "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "analysis",
+        "fairness", "replicate", "heatmap", "sensitivity", "all",
+    ):
+        args = parser.parse_args(
+            [command] if command != "fig4" else [command, "--surge", "0.2"]
+        )
+        assert callable(args.fn)
+
+
+def test_parser_global_options():
+    args = build_parser().parse_args(["--duration", "5", "--seed", "9", "fig3"])
+    assert args.duration == 5.0
+    assert args.seed == 9
+
+
+def test_table1_output(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert out.count("\n") >= 9  # header + 8 cases
+
+
+def test_fig3_output(capsys):
+    assert main(["--duration", "3", "fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out
+    assert "FMTCP" in out and "MPTCP" in out
+
+
+def test_fig5_and_fig6_output(capsys):
+    assert main(["--duration", "3", "fig5"]) == 0
+    assert main(["--duration", "3", "fig6"]) == 0
+    out = capsys.readouterr().out
+    assert "delivery delay" in out
+    assert "jitter" in out
+
+
+def test_fig7_output(capsys):
+    assert main(["--duration", "3", "fig7"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 7" in out
+    assert "max/mean" in out
+
+
+def test_analysis_output(capsys):
+    assert main(["analysis"]) == 0
+    out = capsys.readouterr().out
+    assert "Chernoff" in out
+    assert "fountain" in out
+
+
+def test_unknown_command_exits_nonzero():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig99"])
+
+
+def test_fairness_command(capsys):
+    assert main(["--duration", "4", "fairness", "--competitors", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Jain" in out
+    assert "fmtcp" in out and "tcp" in out
+
+
+def test_replicate_command(capsys):
+    assert main(["--duration", "3", "replicate", "--case", "4", "--seeds", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "±" in out
+    assert "n=2" in out
+
+
+def test_fig3_csv_export(tmp_path, capsys):
+    target = tmp_path / "fig3.csv"
+    assert main(["--duration", "3", "--csv", str(target), "fig3"]) == 0
+    text = target.read_text()
+    assert text.startswith("case,")
+    assert len(text.strip().splitlines()) == 9  # header + 8 cases
+
+
+def test_heatmap_command(capsys):
+    assert main(["--duration", "3", "heatmap"]) == 0
+    out = capsys.readouterr().out
+    assert "loss" in out and "KB" in out
+
+
+def test_sensitivity_command(capsys):
+    assert main(["--duration", "3", "sensitivity"]) == 0
+    out = capsys.readouterr().out
+    assert "loss sweep" in out
+    assert "ratio" in out
+
+
+def test_fig4_plot_and_csv(tmp_path, capsys):
+    target = tmp_path / "fig4.csv"
+    assert main(
+        ["--duration", "20", "--csv", str(target), "fig4", "--surge", "0.3"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "┤" in out  # the ASCII series plot was rendered
+    assert "series,time_s,value" in target.read_text()

@@ -1,0 +1,90 @@
+"""Tests for the paired-comparison methodology helpers."""
+
+import pytest
+
+from repro.experiments.comparison import (
+    PairedComparison,
+    binomial_tail,
+    compare_protocols,
+)
+from repro.workloads.scenarios import TABLE1_CASES, table1_path_configs
+
+
+# ----------------------------------------------------------------------
+# Sign-test machinery.
+# ----------------------------------------------------------------------
+def test_binomial_tail_exact_values():
+    assert binomial_tail(5, 0) == 1.0
+    assert binomial_tail(5, 6) == 0.0
+    assert binomial_tail(5, 5) == pytest.approx(1 / 32)
+    assert binomial_tail(5, 4) == pytest.approx(6 / 32)
+    assert binomial_tail(10, 10) == pytest.approx(2.0**-10)
+
+
+def test_paired_comparison_counts_wins():
+    comparison = PairedComparison(
+        protocol_a="fmtcp",
+        protocol_b="mptcp",
+        metric="goodput_mbytes_per_s",
+        higher_is_better=True,
+        values_a=[1.0, 2.0, 3.0, 4.0],
+        values_b=[0.5, 2.5, 2.0, 3.0],
+        seeds=[1, 2, 3, 4],
+    )
+    assert comparison.wins == 3
+    assert comparison.mean_delta == pytest.approx(0.5)
+    assert comparison.p_value == pytest.approx(binomial_tail(4, 3))
+
+
+def test_lower_is_better_metrics():
+    comparison = PairedComparison(
+        protocol_a="fmtcp",
+        protocol_b="mptcp",
+        metric="mean_block_delay_ms",
+        higher_is_better=False,
+        values_a=[100.0, 120.0],
+        values_b=[200.0, 110.0],
+        seeds=[1, 2],
+    )
+    assert comparison.wins == 1
+
+
+def test_ties_are_excluded_from_the_test():
+    comparison = PairedComparison(
+        protocol_a="a", protocol_b="b", metric="m", higher_is_better=True,
+        values_a=[1.0, 1.0, 2.0], values_b=[1.0, 1.0, 1.0], seeds=[1, 2, 3],
+    )
+    assert comparison.p_value == pytest.approx(0.5)  # one decisive win of one
+
+
+def test_all_ties_is_p_one():
+    comparison = PairedComparison(
+        protocol_a="a", protocol_b="b", metric="m", higher_is_better=True,
+        values_a=[1.0], values_b=[1.0], seeds=[1],
+    )
+    assert comparison.p_value == 1.0
+    assert "no significant difference" in comparison.verdict()
+
+
+# ----------------------------------------------------------------------
+# End-to-end paired runs.
+# ----------------------------------------------------------------------
+def test_fmtcp_beats_mptcp_significantly_on_case4():
+    comparison = compare_protocols(
+        "fmtcp",
+        "mptcp",
+        lambda: table1_path_configs(TABLE1_CASES[3]),
+        duration_s=8.0,
+        seeds=range(1, 7),
+    )
+    assert comparison.wins == 6
+    assert comparison.p_value == pytest.approx(2.0**-6)
+    assert "beats" in comparison.verdict()
+
+
+def test_compare_requires_seeds():
+    with pytest.raises(ValueError):
+        compare_protocols(
+            "fmtcp", "mptcp", lambda: table1_path_configs(TABLE1_CASES[0]),
+            duration_s=1.0, seeds=(),
+        )

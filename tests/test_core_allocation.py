@@ -1,0 +1,288 @@
+"""Unit and property tests for Algorithm 1 (EAT data allocation)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import (
+    allocate_packet,
+    allocate_packet_greedy,
+    allocate_packet_reference,
+)
+from repro.core.blocks import PendingBlock
+from repro.core.estimators import PathEstimate
+
+MARGIN = math.log2(1000)  # delta_hat = 1e-3
+WIRE = 34
+MSS = 1400
+
+
+def make_blocks(count, k=64, k_bar=0):
+    blocks = []
+    for block_id in range(count):
+        block = PendingBlock(block_id=block_id, k=k, data_bytes=k * 32)
+        block.k_bar = k_bar
+        blocks.append(block)
+    return blocks
+
+
+def make_estimates(spec):
+    """spec: list of dicts with rtt/loss/window_space/tau overrides."""
+    estimates = []
+    for subflow_id, overrides in enumerate(spec):
+        params = {
+            "rtt": 0.2,
+            "rto": 0.4,
+            "loss": 0.0,
+            "window_space": 4,
+            "tau": 0.0,
+        }
+        params.update(overrides)
+        estimates.append(PathEstimate(subflow_id=subflow_id, **params))
+    return estimates
+
+
+def loss_of(estimates):
+    table = {estimate.subflow_id: estimate.loss for estimate in estimates}
+    return lambda subflow_id: table[subflow_id]
+
+
+def allocate(pending, estimates, blocks, fn=allocate_packet):
+    return fn(
+        pending_subflow_id=pending,
+        estimates=estimates,
+        blocks=blocks,
+        loss_rate_of=loss_of(estimates),
+        mss=MSS,
+        symbol_wire_size=WIRE,
+        margin=MARGIN,
+    )
+
+
+# ----------------------------------------------------------------------
+# Basic behaviour.
+# ----------------------------------------------------------------------
+def test_fills_packet_up_to_mss():
+    blocks = make_blocks(4)
+    estimates = make_estimates([{}, {}])
+    result = allocate(0, estimates, blocks)
+    assert result.total_symbols == MSS // WIRE
+    assert sum(size for __, size in result.vector) <= MSS // WIRE
+
+
+def test_rule_r2_fills_blocks_in_order():
+    blocks = make_blocks(4)
+    estimates = make_estimates([{}])
+    result = allocate(0, estimates, blocks)
+    assert result.vector[0][0] == 0  # first pending block first
+
+
+def test_rule_r1_skips_delta_complete_blocks():
+    blocks = make_blocks(3)
+    blocks[0].k_bar = blocks[0].k + int(MARGIN) + 1  # already complete
+    estimates = make_estimates([{}])
+    result = allocate(0, estimates, blocks)
+    assert all(block_id != 0 for block_id, __ in result.vector)
+    assert result.vector[0][0] == 1
+
+
+def test_no_demand_returns_empty():
+    blocks = make_blocks(2)
+    for block in blocks:
+        block.k_bar = block.k + int(MARGIN) + 1
+    estimates = make_estimates([{}, {}])
+    result = allocate(0, estimates, blocks)
+    assert result.is_empty()
+
+
+def test_empty_block_list_returns_empty():
+    estimates = make_estimates([{}])
+    result = allocate(0, estimates, [])
+    assert result.is_empty()
+
+
+def test_partial_demand_smaller_packet():
+    """A block needing fewer symbols than a packet yields a short packet
+    only if no later block has demand."""
+    blocks = make_blocks(1, k=4)
+    blocks[0].k_bar = 4 + int(MARGIN) - 2  # needs ~3 more expected symbols
+    estimates = make_estimates([{}])
+    result = allocate(0, estimates, blocks)
+    assert 0 < result.total_symbols < MSS // WIRE
+
+
+def test_in_flight_symbols_reduce_demand():
+    blocks = make_blocks(1, k=64)
+    estimates = make_estimates([{"loss": 0.0}])
+    blocks[0].record_sent(0, 60, now=0.0)  # 60 expected arrivals in flight
+    result = allocate(0, estimates, blocks)
+    needed = 64 + MARGIN - 60
+    assert result.total_symbols == math.ceil(needed)
+
+
+def test_lossy_inflight_counts_fractionally():
+    blocks = make_blocks(1, k=64)
+    estimates = make_estimates([{"loss": 0.5}])
+    blocks[0].record_sent(0, 60, now=0.0)  # only 30 expected to arrive
+    result = allocate(0, estimates, blocks)
+    # Demand ≈ 64 + margin - 30, each new symbol worth 0.5.
+    expected = math.ceil((64 + MARGIN - 30) / 0.5)
+    assert result.total_symbols == min(expected, MSS // WIRE)
+
+
+# ----------------------------------------------------------------------
+# EAT-driven virtual allocation.
+# ----------------------------------------------------------------------
+def test_urgent_block_goes_to_fast_flow():
+    """With one urgent block, the slow pending flow gets nothing: the fast
+    flow virtually claims the first block's demand (the Section IV-B
+    example: don't put the first pending block on the high-delay path)."""
+    blocks = make_blocks(1)
+    estimates = make_estimates(
+        [
+            {"rtt": 0.05, "window_space": 100},  # fast, lots of room
+            {"rtt": 1.0, "window_space": 4},  # slow pending flow
+        ]
+    )
+    result = allocate(1, estimates, blocks)
+    assert result.is_empty()
+    assert result.virtual_packets.get(0, 0) > 0
+
+
+def test_slow_flow_gets_later_blocks():
+    """With plenty of blocks, the slow flow is assigned symbols for blocks
+    beyond those the fast flow will handle first."""
+    blocks = make_blocks(12)
+    estimates = make_estimates(
+        [
+            {"rtt": 0.05, "window_space": 2},
+            {"rtt": 0.5, "window_space": 4},
+        ]
+    )
+    result = allocate(1, estimates, blocks)
+    assert not result.is_empty()
+    first_block_allocated = result.vector[0][0]
+    assert first_block_allocated >= 1  # fast flow virtually took block 0
+
+
+def test_pending_flow_is_fast_flow_gets_first_block():
+    blocks = make_blocks(8)
+    estimates = make_estimates(
+        [
+            {"rtt": 0.05, "window_space": 2},
+            {"rtt": 0.5, "window_space": 4},
+        ]
+    )
+    result = allocate(0, estimates, blocks)
+    assert result.vector[0][0] == 0
+
+
+def test_iterations_reported():
+    blocks = make_blocks(8)
+    estimates = make_estimates([{"rtt": 0.05}, {"rtt": 0.5}])
+    result = allocate(1, estimates, blocks)
+    assert result.iterations >= 1
+
+
+def test_unknown_pending_subflow_rejected():
+    with pytest.raises(ValueError):
+        allocate(9, make_estimates([{}]), make_blocks(1))
+
+
+def test_symbol_larger_than_mss_rejected():
+    estimates = make_estimates([{}])
+    with pytest.raises(ValueError):
+        allocate_packet(
+            pending_subflow_id=0,
+            estimates=estimates,
+            blocks=make_blocks(1),
+            loss_rate_of=loss_of(estimates),
+            mss=10,
+            symbol_wire_size=34,
+            margin=MARGIN,
+        )
+
+
+# ----------------------------------------------------------------------
+# Greedy ablation allocator.
+# ----------------------------------------------------------------------
+def test_greedy_ignores_other_flows():
+    blocks = make_blocks(1)
+    estimates = make_estimates(
+        [
+            {"rtt": 0.05, "window_space": 100},
+            {"rtt": 1.0, "window_space": 4},
+        ]
+    )
+    result = allocate(1, estimates, blocks, fn=allocate_packet_greedy)
+    # Greedy gives the urgent block to the slow flow anyway.
+    assert not result.is_empty()
+    assert result.vector[0][0] == 0
+
+
+def test_greedy_respects_r1():
+    blocks = make_blocks(2)
+    blocks[0].k_bar = blocks[0].k + int(MARGIN) + 1
+    estimates = make_estimates([{}])
+    result = allocate(0, estimates, blocks, fn=allocate_packet_greedy)
+    assert result.vector[0][0] == 1
+
+
+# ----------------------------------------------------------------------
+# Optimised vs reference equivalence (property).
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_property_optimised_matches_reference(data):
+    rng = random.Random(data.draw(st.integers(min_value=0, max_value=2**31)))
+    n_flows = rng.randint(1, 4)
+    n_blocks = rng.randint(0, 10)
+    spec = [
+        {
+            "rtt": rng.uniform(0.01, 1.0),
+            "rto": rng.uniform(1.0, 3.0) * 0.5,
+            "loss": rng.uniform(0.0, 0.5),
+            "window_space": rng.randint(0, 6),
+            "tau": rng.uniform(0.0, 0.3),
+        }
+        for __ in range(n_flows)
+    ]
+    estimates = make_estimates(spec)
+    blocks = make_blocks(n_blocks, k=rng.choice([8, 32, 64]))
+    for block in blocks:
+        block.k_bar = rng.randint(0, block.k)
+        for subflow_id in range(n_flows):
+            if rng.random() < 0.5:
+                block.record_sent(subflow_id, rng.randint(0, 20), now=0.0)
+    pending = rng.randrange(n_flows)
+    fast = allocate(pending, estimates, blocks, fn=allocate_packet)
+    reference = allocate(pending, estimates, blocks, fn=allocate_packet_reference)
+    assert fast.vector == reference.vector
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_property_packet_always_fits_mss_and_respects_order(seed):
+    rng = random.Random(seed)
+    estimates = make_estimates(
+        [
+            {
+                "rtt": rng.uniform(0.01, 0.5),
+                "loss": rng.uniform(0.0, 0.4),
+                "window_space": rng.randint(0, 8),
+            }
+            for __ in range(rng.randint(1, 3))
+        ]
+    )
+    blocks = make_blocks(rng.randint(1, 8), k=32)
+    for block in blocks:
+        block.k_bar = rng.randint(0, 40)
+    result = allocate(rng.randrange(len(estimates)), estimates, blocks)
+    assert result.total_symbols * WIRE <= MSS
+    block_ids = [block_id for block_id, __ in result.vector]
+    assert block_ids == sorted(block_ids)
+    counts = [count for __, count in result.vector]
+    assert all(count > 0 for count in counts)

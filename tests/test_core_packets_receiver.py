@@ -1,0 +1,179 @@
+"""Unit tests for FMTCP wire formats and receiver internals."""
+
+import random
+
+import pytest
+
+from repro.core.config import FmtcpConfig
+from repro.core.packets import FmtcpFeedback, FmtcpSegmentPayload, SymbolGroup
+from repro.core.receiver import FmtcpReceiver
+from repro.fountain.codec import BlockEncoder
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceBus
+
+
+class FakeSegment:
+    def __init__(self, payload):
+        self.payload = payload
+
+
+def group(block_id=0, count=4, block_k=8, block_bytes=64, symbols=None):
+    return SymbolGroup(
+        block_id=block_id,
+        count=count,
+        block_k=block_k,
+        block_bytes=block_bytes,
+        symbols=symbols,
+    )
+
+
+# ----------------------------------------------------------------------
+# Wire formats.
+# ----------------------------------------------------------------------
+def test_symbol_group_validation():
+    with pytest.raises(ValueError):
+        group(count=0)
+    with pytest.raises(ValueError):
+        SymbolGroup(block_id=0, count=2, block_k=8, block_bytes=64, symbols=[])
+
+
+def test_payload_requires_groups():
+    with pytest.raises(ValueError):
+        FmtcpSegmentPayload([])
+
+
+def test_payload_total_symbols():
+    payload = FmtcpSegmentPayload([group(count=3), group(block_id=1, count=5)])
+    assert payload.total_symbols() == 8
+
+
+def test_feedback_fields():
+    feedback = FmtcpFeedback(k_bar={3: 7}, decoded_in_order=3, decoded_out_of_order=(5,))
+    assert feedback.k_bar[3] == 7
+    assert feedback.decoded_in_order == 3
+    assert feedback.decoded_out_of_order == (5,)
+
+
+# ----------------------------------------------------------------------
+# Receiver (driven directly, no network).
+# ----------------------------------------------------------------------
+def make_receiver(coding="statistical", sink=None, trace=None):
+    config = FmtcpConfig(
+        coding=coding, symbols_per_block=8, symbol_size=8, max_pending_blocks=4
+    )
+    return (
+        FmtcpReceiver(
+            Simulator(),
+            config,
+            trace=trace,
+            rng=random.Random(0),
+            sink=sink,
+        ),
+        config,
+    )
+
+
+def feed(receiver, block_id, count, block_k=8, block_bytes=64, symbols=None):
+    payload = FmtcpSegmentPayload(
+        [group(block_id=block_id, count=count, block_k=block_k,
+               block_bytes=block_bytes, symbols=symbols)]
+    )
+    receiver.on_segment(0, FakeSegment(payload))
+
+
+def test_block_decodes_after_enough_symbols():
+    receiver, __ = make_receiver()
+    while receiver.blocks_decoded == 0:
+        feed(receiver, 0, 1)
+        assert receiver.symbols_received < 100
+    assert receiver.delivered_blocks == 1
+    assert receiver.delivered_bytes == 64
+
+
+def test_out_of_order_decode_waits_for_delivery():
+    delivered = []
+    receiver, __ = make_receiver(sink=lambda block_id, data: delivered.append(block_id))
+    # Decode block 1 fully while block 0 is untouched.
+    while 1 not in receiver._decoded_waiting and receiver.delivered_blocks == 0:
+        feed(receiver, 1, 1)
+    assert delivered == []  # in-order delivery must hold it back
+    while receiver.delivered_blocks < 2:
+        feed(receiver, 0, 1)
+    assert delivered == [0, 1]
+
+
+def test_feedback_reports_rank_of_active_blocks():
+    receiver, __ = make_receiver()
+    feed(receiver, 0, 3)
+    feedback = receiver.feedback()
+    assert 0 in feedback.k_bar
+    assert 0 < feedback.k_bar[0] <= 3
+    assert feedback.decoded_in_order == 0
+
+
+def test_feedback_reports_out_of_order_decodes():
+    receiver, __ = make_receiver()
+    while 1 not in receiver._decoded_waiting:
+        feed(receiver, 1, 2)
+    feedback = receiver.feedback()
+    assert 1 in feedback.decoded_out_of_order
+    assert feedback.decoded_in_order == 0
+
+
+def test_symbols_for_decoded_block_counted_redundant():
+    receiver, __ = make_receiver()
+    while receiver.blocks_decoded == 0:
+        feed(receiver, 0, 2)
+    before = receiver.symbols_redundant
+    feed(receiver, 0, 3)  # stale symbols arriving after decode
+    assert receiver.symbols_redundant == before + 3
+
+
+def test_real_mode_decodes_actual_bytes():
+    data = bytes(range(64))
+    encoder = BlockEncoder(data, k=8, part_size=8, rng=random.Random(1))
+    delivered = {}
+    receiver, config = make_receiver(
+        coding="real", sink=lambda block_id, payload: delivered.__setitem__(block_id, payload)
+    )
+    while receiver.blocks_decoded == 0:
+        feed(
+            receiver,
+            0,
+            1,
+            block_bytes=64,
+            symbols=[encoder.next_symbol()],
+        )
+    assert delivered[0] == data
+
+
+def test_trace_events_emitted():
+    trace = TraceBus()
+    decoded, delivered = [], []
+    trace.subscribe("fmtcp.block_decoded", decoded.append)
+    trace.subscribe("conn.delivered", delivered.append)
+    receiver, __ = make_receiver(trace=trace)
+    while receiver.blocks_decoded == 0:
+        feed(receiver, 0, 1)
+    assert len(decoded) == 1
+    assert len(delivered) == 1
+    assert delivered[0]["bytes"] == 64
+
+
+def test_buffered_blocks_counts_active_and_waiting():
+    receiver, __ = make_receiver()
+    feed(receiver, 0, 1)  # active
+    while 1 not in receiver._decoded_waiting:
+        feed(receiver, 1, 2)  # decoded, waiting for block 0
+    assert receiver.buffered_blocks == 2
+
+
+def test_multiple_groups_in_one_packet():
+    receiver, __ = make_receiver()
+    payload = FmtcpSegmentPayload(
+        [group(block_id=0, count=2), group(block_id=1, count=3)]
+    )
+    receiver.on_segment(0, FakeSegment(payload))
+    assert receiver.symbols_received == 5
+    feedback = receiver.feedback()
+    assert set(feedback.k_bar) == {0, 1}

@@ -1,0 +1,314 @@
+"""Tests for the extension modules: systematic coding, RED queues,
+fairness, replication, reporting and trace export."""
+
+import random
+
+import pytest
+
+from repro.core.config import FmtcpConfig
+from repro.experiments.fairness import jain_index, run_fairness
+from repro.experiments.replication import (
+    run_replicated,
+    summarise,
+    t_quantile,
+)
+from repro.experiments.reporting import (
+    bar_chart,
+    rows_to_csv,
+    series_plot,
+    series_to_csv,
+    sparkline,
+)
+from repro.fountain.codec import BlockDecoder, SystematicBlockEncoder
+from repro.net.packet import Packet
+from repro.net.queues import RedQueue
+from repro.net.topology import PathConfig, build_shared_bottleneck_network
+from repro.sim.trace import TraceBus
+from repro.sim.tracefile import TraceFileWriter, read_trace_file
+
+
+# ----------------------------------------------------------------------
+# Systematic fountain coding.
+# ----------------------------------------------------------------------
+def test_systematic_first_k_symbols_are_source_parts():
+    data = bytes(range(64))
+    encoder = SystematicBlockEncoder(data, k=8, part_size=8, rng=random.Random(0))
+    decoder = BlockDecoder(k=8, part_size=8, data_length=64)
+    for __ in range(8):
+        symbol = encoder.next_symbol()
+        assert symbol.degree() == 1
+        decoder.add_symbol(symbol)
+    assert decoder.is_complete
+    assert decoder.decode() == data
+    assert decoder.symbols_redundant == 0
+
+
+def test_systematic_repair_symbols_recover_erasures():
+    rng = random.Random(1)
+    data = bytes(rng.getrandbits(8) for __ in range(64))
+    encoder = SystematicBlockEncoder(data, k=8, part_size=8, rng=rng)
+    decoder = BlockDecoder(k=8, part_size=8, data_length=64)
+    for index in range(8):  # drop half the systematic symbols
+        symbol = encoder.next_symbol()
+        if index % 2 == 0:
+            decoder.add_symbol(symbol)
+    while not decoder.is_complete:
+        decoder.add_symbol(encoder.next_symbol())  # coded repair
+    assert decoder.decode() == data
+
+
+def test_systematic_fmtcp_end_to_end():
+    from repro.core.connection import FmtcpConnection
+    from repro.sim.rng import RngStreams
+    from repro.workloads.sources import RandomPayloadSource
+    from tests.conftest import make_two_path
+
+    config = FmtcpConfig(coding="real", systematic=True, max_pending_blocks=4)
+    source = RandomPayloadSource(total_bytes=3 * config.block_bytes + 123)
+    network, paths, trace = make_two_path(loss2=0.2)
+    chunks = {}
+    connection = FmtcpConnection(
+        network.sim, paths, source, config=config, trace=trace,
+        rng=RngStreams(5),
+        sink=lambda block_id, data: chunks.__setitem__(block_id, data),
+    )
+    connection.start()
+    network.sim.run(until=60.0)
+    reassembled = b"".join(chunks[block_id] for block_id in sorted(chunks))
+    assert reassembled == bytes(source.transcript)
+
+
+def test_systematic_requires_real_coding():
+    with pytest.raises(ValueError):
+        FmtcpConfig(systematic=True, coding="statistical")
+
+
+# ----------------------------------------------------------------------
+# RED queue.
+# ----------------------------------------------------------------------
+def make_packet():
+    return Packet(size=1000, src="a", dst="b", src_port=1, dst_port=2)
+
+
+def test_red_accepts_below_min_threshold():
+    queue = RedQueue(capacity=50, min_threshold=5, max_threshold=15)
+    for __ in range(4):
+        assert queue.try_enqueue(make_packet())
+    assert queue.early_drops == 0
+
+
+def test_red_drops_probabilistically_between_thresholds():
+    queue = RedQueue(
+        capacity=200, min_threshold=5, max_threshold=15,
+        max_probability=0.5, weight=1.0, rng=random.Random(0),
+    )
+    outcomes = []
+    for __ in range(200):
+        outcomes.append(queue.try_enqueue(make_packet()))
+        if len(queue) > 10:
+            queue.dequeue()  # hold occupancy in the RED band
+    assert queue.early_drops > 0
+    assert any(outcomes)
+
+
+def test_red_force_drops_above_max_threshold():
+    queue = RedQueue(
+        capacity=100, min_threshold=2, max_threshold=5, weight=1.0,
+        rng=random.Random(0),
+    )
+    drops_before = queue.drops
+    for __ in range(30):
+        queue.try_enqueue(make_packet())
+    # Average sits above max_threshold quickly -> every arrival dropped.
+    assert queue.drops > drops_before
+    assert len(queue) <= 7
+
+
+def test_red_average_tracks_occupancy():
+    queue = RedQueue(capacity=100, min_threshold=20, max_threshold=60, weight=0.5)
+    for __ in range(10):
+        queue.try_enqueue(make_packet())
+    assert 0.0 < queue.average_queue <= 10.0
+
+
+def test_red_validation():
+    with pytest.raises(ValueError):
+        RedQueue(capacity=10, min_threshold=8, max_threshold=8)
+    with pytest.raises(ValueError):
+        RedQueue(max_probability=0.0)
+    with pytest.raises(ValueError):
+        RedQueue(weight=2.0)
+
+
+def test_red_usable_as_path_queue():
+    config = PathConfig(
+        bandwidth_bps=8e6,
+        delay_s=0.01,
+        queue_factory=lambda: RedQueue(capacity=50),
+    )
+    from repro.net.topology import build_two_path_network
+
+    network, paths = build_two_path_network([config])
+    assert isinstance(paths[0].forward_links[0].queue, RedQueue)
+
+
+# ----------------------------------------------------------------------
+# Shared bottleneck + fairness.
+# ----------------------------------------------------------------------
+def test_shared_bottleneck_topology_shapes():
+    network, paths = build_shared_bottleneck_network(3)
+    assert len(paths) == 3
+    shared = {path.forward_links[-1] for path in paths}
+    assert len(shared) == 1  # all paths end on the same bottleneck link
+
+
+def test_jain_index_values():
+    assert jain_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+    assert jain_index([1.0, 0.0]) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        jain_index([])
+
+
+def test_tcp_flows_share_fairly():
+    result = run_fairness(protocol_under_test="tcp", n_competitors=2, duration_s=15.0)
+    assert result.jain > 0.95
+
+
+def test_fmtcp_is_tcp_friendly():
+    """Paper Section III-A: FMTCP must not out-compete TCP on a shared
+    bottleneck (it inherits per-subflow Reno; coding is not a rate boost)."""
+    result = run_fairness(
+        protocol_under_test="fmtcp", n_competitors=3, duration_s=20.0
+    )
+    assert result.jain > 0.95
+    assert 0.7 < result.test_flow_share < 1.2
+
+
+def test_fairness_validation():
+    with pytest.raises(ValueError):
+        run_fairness(protocol_under_test="sctp")
+
+
+# ----------------------------------------------------------------------
+# Replication.
+# ----------------------------------------------------------------------
+def test_summarise_statistics():
+    summary = summarise([1.0, 2.0, 3.0])
+    assert summary.mean == pytest.approx(2.0)
+    assert summary.stdev == pytest.approx(1.0)
+    assert summary.ci95 == pytest.approx(4.303 / 3**0.5, rel=1e-3)
+    assert summary.n == 3
+
+
+def test_summarise_single_value():
+    summary = summarise([5.0])
+    assert summary.mean == 5.0 and summary.ci95 == 0.0
+
+
+def test_t_quantile_bounds():
+    assert t_quantile(2) == pytest.approx(12.706)
+    assert t_quantile(100) == pytest.approx(1.96)
+    with pytest.raises(ValueError):
+        t_quantile(1)
+
+
+def test_run_replicated_aggregates_seeds():
+    def factory():
+        return [
+            PathConfig(bandwidth_bps=8e6, delay_s=0.01, loss_rate=0.0),
+            PathConfig(bandwidth_bps=8e6, delay_s=0.01, loss_rate=0.1),
+        ]
+
+    result = run_replicated("fmtcp", factory, duration_s=4.0, seeds=(1, 2, 3))
+    assert len(result.runs) == 3
+    goodput = result["goodput_mbytes_per_s"]
+    assert goodput.n == 3
+    assert goodput.mean > 0
+    assert goodput.stdev >= 0
+
+
+def test_run_replicated_requires_seeds():
+    with pytest.raises(ValueError):
+        run_replicated("fmtcp", lambda: [PathConfig()], duration_s=1.0, seeds=())
+
+
+# ----------------------------------------------------------------------
+# Reporting.
+# ----------------------------------------------------------------------
+def test_sparkline_levels():
+    line = sparkline([0.0, 0.5, 1.0])
+    assert len(line) == 3
+    assert line[0] == "▁" and line[-1] == "█"
+
+
+def test_sparkline_flat_series():
+    assert sparkline([0.0, 0.0]) == "▁▁"
+    assert sparkline([]) == ""
+
+
+def test_bar_chart_alignment_and_scale():
+    lines = bar_chart([("a", 1.0), ("bb", 2.0)], width=10)
+    assert len(lines) == 2
+    assert lines[1].count("█") == 10  # peak fills the width
+    assert lines[0].count("█") == 5
+
+
+def test_series_plot_contains_all_series():
+    lines = series_plot(
+        {"x": [(0.0, 1.0), (10.0, 2.0)], "y": [(5.0, 0.5)]}, height=6, width=30
+    )
+    body = "\n".join(lines)
+    assert "o" in body and "x=x" in body.replace(" ", "").lower() or "o=x" in body
+    assert len(lines) >= 6
+
+
+def test_rows_to_csv_roundtrip():
+    rows = [{"case": 1, "value": 2.5}, {"case": 2, "value": 3.5}]
+    text = rows_to_csv(rows)
+    lines = text.strip().splitlines()
+    assert lines[0] == "case,value"
+    assert lines[1] == "1,2.5"
+    assert rows_to_csv([]) == ""
+
+
+def test_series_to_csv_long_format():
+    text = series_to_csv({"fmtcp": [(0.5, 1.25)]})
+    assert "series,time_s,value" in text
+    assert "fmtcp,0.5,1.25" in text
+
+
+# ----------------------------------------------------------------------
+# Trace export.
+# ----------------------------------------------------------------------
+def test_trace_file_writer_roundtrip(tmp_path):
+    trace = TraceBus()
+    path = tmp_path / "trace.jsonl"
+    with TraceFileWriter(trace, str(path), kinds=["conn.delivered"]):
+        trace.emit(1.0, "conn.delivered", bytes=100)
+        trace.emit(2.0, "other.kind", x=1)  # filtered out
+        trace.emit(3.0, "conn.delivered", bytes=200)
+    records = read_trace_file(str(path))
+    assert len(records) == 2
+    assert records[0] == {"t": 1.0, "kind": "conn.delivered", "bytes": 100}
+
+
+def test_trace_file_writer_wildcard_and_complex_fields(tmp_path):
+    trace = TraceBus()
+    path = tmp_path / "trace.jsonl"
+    writer = TraceFileWriter(trace, str(path))
+    trace.emit(0.0, "k", nested={"a": (1, 2)}, obj=object())
+    writer.close()
+    records = read_trace_file(str(path))
+    assert records[0]["nested"] == {"a": [1, 2]}
+    assert isinstance(records[0]["obj"], str)
+    # After close, further emissions are not recorded.
+    trace.emit(1.0, "k")
+    assert len(read_trace_file(str(path))) == 1
+
+
+def test_trace_file_writer_counts(tmp_path):
+    trace = TraceBus()
+    with TraceFileWriter(trace, str(tmp_path / "t.jsonl"), kinds=["a"]) as writer:
+        for __ in range(5):
+            trace.emit(0.0, "a")
+        assert writer.records_written == 5

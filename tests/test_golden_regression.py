@@ -1,0 +1,42 @@
+"""Golden-value regression: exact behavioural anchors.
+
+If any of these fail after an intentional behaviour change, regenerate
+the anchors with ``python -m repro.experiments.golden`` and review the
+diff of ``golden.json`` like any other code change.
+"""
+
+import pytest
+
+from repro.experiments.golden import (
+    ANCHORS,
+    RELATIVE_TOLERANCE,
+    load_golden,
+    measure_anchor,
+)
+
+GOLDEN = load_golden()
+
+
+@pytest.mark.parametrize(
+    "protocol,case_id,duration_s,seed",
+    ANCHORS,
+    ids=[f"{p}-case{c}" for p, c, __, __ in ANCHORS],
+)
+def test_anchor_matches_golden(protocol, case_id, duration_s, seed):
+    key = f"{protocol}/case{case_id}/{duration_s:g}s/seed{seed}"
+    assert key in GOLDEN, (
+        f"no golden value for {key}; run `python -m repro.experiments.golden`"
+    )
+    measured = measure_anchor(protocol, case_id, duration_s, seed)
+    for metric, expected in GOLDEN[key].items():
+        assert measured[metric] == pytest.approx(
+            expected, rel=RELATIVE_TOLERANCE
+        ), f"{key}:{metric} drifted from golden"
+
+
+def test_golden_file_covers_all_anchors():
+    keys = {
+        f"{protocol}/case{case_id}/{duration_s:g}s/seed{seed}"
+        for protocol, case_id, duration_s, seed in ANCHORS
+    }
+    assert keys <= set(GOLDEN)

@@ -1,0 +1,94 @@
+"""Tests for FMTCP's LT-code mode (config.code = "lt")."""
+
+import pytest
+
+from repro.core.config import FmtcpConfig
+from repro.core.connection import FmtcpConnection
+from repro.core.receiver import LtDecoderAdapter
+from repro.fountain.lt import LtEncoder
+from repro.sim.rng import RngStreams
+from repro.workloads.sources import BulkSource, RandomPayloadSource
+from tests.conftest import make_two_path
+
+
+def lt_config(**overrides):
+    params = dict(
+        coding="real",
+        code="lt",
+        max_pending_blocks=4,
+        symbols_per_block=64,
+        symbol_size=128,
+    )
+    params.update(overrides)
+    return FmtcpConfig(**params)
+
+
+def run_lt(source, loss2=0.0, duration=30.0, config=None, sink=None, seed=5):
+    network, paths, trace = make_two_path(loss2=loss2, seed=seed)
+    connection = FmtcpConnection(
+        network.sim, paths, source, config=config or lt_config(), trace=trace,
+        rng=RngStreams(seed), sink=sink,
+    )
+    connection.start()
+    network.sim.run(until=duration)
+    return connection
+
+
+def test_lt_mode_requires_real_coding():
+    with pytest.raises(ValueError):
+        FmtcpConfig(code="lt", coding="statistical")
+    with pytest.raises(ValueError):
+        FmtcpConfig(code="quantum")
+    with pytest.raises(ValueError):
+        FmtcpConfig(code="lt", coding="real", systematic=True)
+
+
+def test_lt_mode_byte_exact_clean_paths():
+    config = lt_config()
+    source = RandomPayloadSource(total_bytes=3 * config.block_bytes)
+    chunks = {}
+    run_lt(source, config=config, sink=lambda b, d: chunks.__setitem__(b, d))
+    out = b"".join(chunks[b] for b in sorted(chunks))
+    assert out == bytes(source.transcript)
+
+
+def test_lt_mode_byte_exact_under_loss():
+    config = lt_config()
+    source = RandomPayloadSource(total_bytes=4 * config.block_bytes + 321)
+    chunks = {}
+    run_lt(
+        source, loss2=0.2, duration=90.0, config=config,
+        sink=lambda b, d: chunks.__setitem__(b, d),
+    )
+    out = b"".join(chunks[b] for b in sorted(chunks))
+    assert out == bytes(source.transcript)
+
+
+def test_lt_overhead_exceeds_rlc():
+    """LT's sparse symbols cost more overhead than the dense RLC — the
+    coding-complexity/overhead trade the paper's Section III-B discusses."""
+    lt_conn = run_lt(BulkSource(), duration=15.0)
+    rlc_conn = run_lt(
+        BulkSource(), duration=15.0,
+        config=FmtcpConfig(
+            coding="real", max_pending_blocks=4,
+            symbols_per_block=64, symbol_size=128,
+        ),
+    )
+    assert lt_conn.redundancy_ratio() > rlc_conn.redundancy_ratio()
+    # Both still make progress.
+    assert lt_conn.delivered_blocks > 10
+    assert rlc_conn.delivered_blocks > 10
+
+
+def test_lt_adapter_interface():
+    adapter = LtDecoderAdapter(k=8, part_size=4, data_length=32)
+    encoder = LtEncoder(bytes(range(32)), k=8, part_size=4)
+    assert adapter.independent_symbols == 0
+    guard = 0
+    while not adapter.is_complete:
+        adapter.add_symbol(encoder.next_symbol())
+        guard += 1
+        assert guard < 500
+    assert adapter.independent_symbols == 8
+    assert adapter.decode() == bytes(range(32))

@@ -1,0 +1,78 @@
+"""Unit tests for the connection-level reorder buffer."""
+
+import pytest
+
+from repro.mptcp.recv_buffer import ReorderBuffer
+
+
+def test_in_order_chunks_deliver_immediately():
+    buffer = ReorderBuffer(capacity=4)
+    assert buffer.insert(0, "a") == [(0, "a")]
+    assert buffer.insert(1, "b") == [(1, "b")]
+    assert buffer.next_expected == 2
+
+
+def test_gap_holds_delivery():
+    buffer = ReorderBuffer(capacity=4)
+    assert buffer.insert(1, "b") == []
+    assert buffer.occupancy == 1
+    assert buffer.next_expected == 0
+
+
+def test_filling_gap_releases_run():
+    buffer = ReorderBuffer(capacity=4)
+    buffer.insert(1, "b")
+    buffer.insert(2, "c")
+    delivered = buffer.insert(0, "a")
+    assert delivered == [(0, "a"), (1, "b"), (2, "c")]
+    assert buffer.occupancy == 0
+    assert buffer.next_expected == 3
+
+
+def test_duplicates_counted_and_ignored():
+    buffer = ReorderBuffer(capacity=4)
+    buffer.insert(0, "a")
+    assert buffer.insert(0, "a-again") == []
+    buffer.insert(2, "c")
+    assert buffer.insert(2, "c-again") == []
+    assert buffer.duplicates == 2
+
+
+def test_advertised_window_shrinks_with_occupancy():
+    buffer = ReorderBuffer(capacity=4)
+    assert buffer.advertised_window == 4
+    buffer.insert(1, "b")
+    buffer.insert(2, "c")
+    assert buffer.advertised_window == 2
+
+
+def test_overflow_raises_rather_than_dropping():
+    buffer = ReorderBuffer(capacity=2)
+    buffer.insert(1, "b")
+    buffer.insert(2, "c")
+    with pytest.raises(OverflowError):
+        buffer.insert(3, "d")
+
+
+def test_high_watermark():
+    buffer = ReorderBuffer(capacity=8)
+    for seq in (1, 2, 3):
+        buffer.insert(seq, str(seq))
+    buffer.insert(0, "0")
+    assert buffer.high_watermark == 3
+    assert buffer.occupancy == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        ReorderBuffer(0)
+
+
+def test_interleaved_two_stream_arrival():
+    """Chunks arriving alternately from two subflows reassemble exactly."""
+    buffer = ReorderBuffer(capacity=16)
+    order = [0, 4, 1, 5, 2, 6, 3, 7]  # two interleaved runs
+    delivered = []
+    for seq in order:
+        delivered.extend(buffer.insert(seq, seq))
+    assert [seq for seq, __ in delivered] == list(range(8))

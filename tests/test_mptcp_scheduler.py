@@ -1,0 +1,66 @@
+"""Unit tests for MPTCP subflow schedulers."""
+
+import pytest
+
+from repro.mptcp.scheduler import (
+    MinRttScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+
+
+class FakeSubflow:
+    def __init__(self, subflow_id, srtt, window_space=1):
+        self.subflow_id = subflow_id
+        self.srtt = srtt
+        self.window_space = window_space
+
+
+def test_minrtt_orders_by_srtt():
+    flows = [FakeSubflow(0, 0.3), FakeSubflow(1, 0.1), FakeSubflow(2, 0.2)]
+    order = MinRttScheduler().preference_order(flows)
+    assert [flow.subflow_id for flow in order] == [1, 2, 0]
+
+
+def test_minrtt_tie_breaks_by_id():
+    flows = [FakeSubflow(1, 0.1), FakeSubflow(0, 0.1)]
+    order = MinRttScheduler().preference_order(flows)
+    assert [flow.subflow_id for flow in order] == [0, 1]
+
+
+def test_minrtt_prefers_best_flow_with_space():
+    fast = FakeSubflow(0, 0.1, window_space=0)
+    slow = FakeSubflow(1, 0.5, window_space=2)
+    scheduler = MinRttScheduler()
+    # Fast flow has no space, so the slow one is the preferred sender.
+    assert scheduler.prefers(slow, [fast, slow])
+    assert not scheduler.prefers(fast, [fast, slow])
+
+
+def test_prefers_false_when_nobody_has_space():
+    flows = [FakeSubflow(0, 0.1, 0), FakeSubflow(1, 0.2, 0)]
+    assert not MinRttScheduler().prefers(flows[0], flows)
+
+
+def test_roundrobin_rotates():
+    flows = [FakeSubflow(0, 0.1), FakeSubflow(1, 0.9)]
+    scheduler = RoundRobinScheduler()
+    first = scheduler.preference_order(flows)[0].subflow_id
+    second = scheduler.preference_order(flows)[0].subflow_id
+    third = scheduler.preference_order(flows)[0].subflow_id
+    assert first != second
+    assert first == third
+
+
+def test_roundrobin_ignores_rtt():
+    flows = [FakeSubflow(0, 9.9), FakeSubflow(1, 0.001)]
+    scheduler = RoundRobinScheduler()
+    firsts = {scheduler.preference_order(flows)[0].subflow_id for __ in range(4)}
+    assert firsts == {0, 1}
+
+
+def test_factory():
+    assert isinstance(make_scheduler("minrtt"), MinRttScheduler)
+    assert isinstance(make_scheduler("roundrobin"), RoundRobinScheduler)
+    with pytest.raises(ValueError):
+        make_scheduler("blest")

@@ -1,0 +1,159 @@
+"""Unit tests for links (timing, queueing, loss) and nodes (delivery)."""
+
+import random
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.loss import BernoulliLoss
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue
+from repro.sim.engine import Simulator
+
+
+def build_link(sim, bandwidth_bps=8e6, delay_s=0.01, loss_model=None, capacity=10):
+    node = Node("dst")
+    link = Link(
+        sim=sim,
+        name="l",
+        dst_node=node,
+        bandwidth_bps=bandwidth_bps,
+        delay_s=delay_s,
+        loss_model=loss_model,
+        queue=DropTailQueue(capacity),
+        rng=random.Random(0),
+    )
+    return link, node
+
+
+def make_packet(size=1000, dst_port=5):
+    return Packet(size=size, src="src", dst="dst", src_port=1, dst_port=dst_port)
+
+
+def test_delivery_time_is_serialisation_plus_propagation(sim):
+    link, node = build_link(sim, bandwidth_bps=8e6, delay_s=0.01)
+    arrivals = []
+    node.bind(5, lambda packet: arrivals.append(sim.now))
+    link.send(make_packet(size=1000))  # 1000B at 8Mbps = 1ms
+    sim.run()
+    assert arrivals == pytest.approx([0.001 + 0.01])
+
+
+def test_back_to_back_packets_serialise(sim):
+    link, node = build_link(sim, bandwidth_bps=8e6, delay_s=0.0)
+    arrivals = []
+    node.bind(5, lambda packet: arrivals.append(sim.now))
+    for __ in range(3):
+        link.send(make_packet(size=1000))
+    sim.run()
+    assert arrivals == pytest.approx([0.001, 0.002, 0.003])
+
+
+def test_propagation_pipelines_across_packets(sim):
+    """The wire can hold multiple packets: spacing is the tx time, not RTT."""
+    link, node = build_link(sim, bandwidth_bps=8e6, delay_s=0.1)
+    arrivals = []
+    node.bind(5, lambda packet: arrivals.append(sim.now))
+    link.send(make_packet(size=1000))
+    link.send(make_packet(size=1000))
+    sim.run()
+    assert arrivals == pytest.approx([0.101, 0.102])
+
+
+def test_queue_overflow_drops_and_counts(sim):
+    link, node = build_link(sim, bandwidth_bps=8e6, delay_s=0.0, capacity=2)
+    received = []
+    node.bind(5, lambda packet: received.append(packet))
+    for __ in range(5):  # 1 in service + 2 queued + 2 dropped
+        link.send(make_packet())
+    sim.run()
+    assert len(received) == 3
+    assert link.packets_dropped_queue == 2
+
+
+def test_loss_model_drops_packets(sim):
+    link, node = build_link(sim, loss_model=BernoulliLoss(0.5))
+    received = []
+    node.bind(5, lambda packet: received.append(packet))
+
+    def send_next(remaining):
+        if remaining:
+            link.send(make_packet())
+            sim.schedule(0.02, send_next, remaining - 1)
+
+    send_next(400)
+    sim.run()
+    assert 120 < len(received) < 280
+    assert link.packets_dropped_loss == 400 - len(received)
+
+
+def test_link_counters(sim):
+    link, node = build_link(sim)
+    node.bind(5, lambda packet: None)
+    link.send(make_packet(size=500))
+    sim.run()
+    assert link.packets_sent == 1
+    assert link.packets_delivered == 1
+    assert link.bytes_delivered == 500
+
+
+def test_link_validation(sim):
+    with pytest.raises(ValueError):
+        Link(sim, "l", Node("d"), bandwidth_bps=0, delay_s=0.0)
+    with pytest.raises(ValueError):
+        Link(sim, "l", Node("d"), bandwidth_bps=1e6, delay_s=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Node behaviour.
+# ----------------------------------------------------------------------
+def test_node_routes_to_bound_port():
+    node = Node("n")
+    seen = []
+    node.bind(7, seen.append)
+    packet = make_packet(dst_port=7)
+    node.receive(packet)
+    assert seen == [packet]
+    assert node.packets_received == 1
+
+
+def test_node_counts_undeliverable():
+    node = Node("n")
+    node.receive(make_packet(dst_port=99))
+    assert node.packets_undeliverable == 1
+
+
+def test_node_forwards_along_route(sim):
+    link, dst = build_link(sim)
+    seen = []
+    dst.bind(5, seen.append)
+    middle = Node("middle")
+    packet = make_packet()
+    packet.route = (link,)
+    middle.receive(packet)  # should push onto the link, not deliver locally
+    sim.run()
+    assert len(seen) == 1
+    assert middle.packets_forwarded == 1
+
+
+def test_node_double_bind_rejected():
+    node = Node("n")
+    node.bind(7, lambda packet: None)
+    with pytest.raises(ValueError):
+        node.bind(7, lambda packet: None)
+
+
+def test_node_unbind_then_rebind():
+    node = Node("n")
+    node.bind(7, lambda packet: None)
+    node.unbind(7)
+    node.bind(7, lambda packet: None)  # must not raise
+
+
+def test_allocate_port_skips_bound_ports():
+    node = Node("n")
+    first = node.allocate_port()
+    node.bind(first + 1, lambda packet: None)
+    second = node.allocate_port()
+    assert second not in (first, first + 1)

@@ -1,0 +1,119 @@
+"""Unit tests for loss models."""
+
+import random
+
+import pytest
+
+from repro.net.loss import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    NoLoss,
+    ScheduledLoss,
+)
+
+
+def test_no_loss_never_drops():
+    model = NoLoss()
+    rng = random.Random(0)
+    assert not any(model.should_drop(float(t), rng) for t in range(1000))
+    assert model.rate_at(0.0) == 0.0
+
+
+def test_bernoulli_rate_validation():
+    with pytest.raises(ValueError):
+        BernoulliLoss(-0.1)
+    with pytest.raises(ValueError):
+        BernoulliLoss(1.0)
+
+
+def test_bernoulli_empirical_rate_close_to_nominal():
+    model = BernoulliLoss(0.2)
+    rng = random.Random(42)
+    drops = sum(model.should_drop(0.0, rng) for __ in range(20_000))
+    assert abs(drops / 20_000 - 0.2) < 0.02
+
+
+def test_bernoulli_zero_rate_consumes_no_randomness():
+    model = BernoulliLoss(0.0)
+    rng = random.Random(1)
+    before = rng.getstate()
+    assert not model.should_drop(0.0, rng)
+    assert rng.getstate() == before
+
+
+def test_scheduled_loss_picks_segment_by_time():
+    model = ScheduledLoss([(0.0, 0.01), (50.0, 0.25), (200.0, 0.01)])
+    assert model.rate_at(0.0) == 0.01
+    assert model.rate_at(49.999) == 0.01
+    assert model.rate_at(50.0) == 0.25
+    assert model.rate_at(199.9) == 0.25
+    assert model.rate_at(200.0) == 0.01
+    assert model.rate_at(1e9) == 0.01
+
+
+def test_scheduled_loss_unsorted_segments_are_sorted():
+    model = ScheduledLoss([(200.0, 0.01), (0.0, 0.05), (50.0, 0.25)])
+    assert model.rate_at(10.0) == 0.05
+    assert model.rate_at(60.0) == 0.25
+
+
+def test_scheduled_loss_implicit_lossless_prefix():
+    model = ScheduledLoss([(10.0, 0.5)])
+    assert model.rate_at(5.0) == 0.0
+    assert model.rate_at(10.0) == 0.5
+
+
+def test_scheduled_loss_empty_rejected():
+    with pytest.raises(ValueError):
+        ScheduledLoss([])
+
+
+def test_scheduled_loss_bad_rate_rejected():
+    with pytest.raises(ValueError):
+        ScheduledLoss([(0.0, 1.5)])
+
+
+def test_scheduled_loss_empirical_rate_switches():
+    model = ScheduledLoss([(0.0, 0.0), (10.0, 0.5)])
+    rng = random.Random(3)
+    early = sum(model.should_drop(5.0, rng) for __ in range(2000))
+    late = sum(model.should_drop(15.0, rng) for __ in range(2000))
+    assert early == 0
+    assert abs(late / 2000 - 0.5) < 0.05
+
+
+def test_gilbert_elliott_stationary_fraction():
+    model = GilbertElliottLoss(p_gb=0.1, p_bg=0.3)
+    assert abs(model.stationary_bad_fraction() - 0.25) < 1e-12
+
+
+def test_gilbert_elliott_marginal_rate():
+    model = GilbertElliottLoss(p_gb=0.1, p_bg=0.3, loss_good=0.0, loss_bad=0.4)
+    assert abs(model.rate_at(0.0) - 0.25 * 0.4) < 1e-12
+
+
+def test_gilbert_elliott_empirical_rate():
+    model = GilbertElliottLoss(p_gb=0.05, p_bg=0.2, loss_good=0.01, loss_bad=0.5)
+    rng = random.Random(11)
+    trials = 50_000
+    drops = sum(model.should_drop(0.0, rng) for __ in range(trials))
+    assert abs(drops / trials - model.rate_at(0.0)) < 0.01
+
+
+def test_gilbert_elliott_produces_bursts():
+    """Loss events should cluster more than under Bernoulli at equal rate."""
+    model = GilbertElliottLoss(p_gb=0.02, p_bg=0.1, loss_good=0.0, loss_bad=0.8)
+    rng = random.Random(5)
+    outcomes = [model.should_drop(0.0, rng) for __ in range(50_000)]
+    rate = sum(outcomes) / len(outcomes)
+    # P(loss | previous loss) should clearly exceed the marginal rate.
+    follow_loss = [b for a, b in zip(outcomes, outcomes[1:]) if a]
+    conditional = sum(follow_loss) / len(follow_loss)
+    assert conditional > rate * 2
+
+
+def test_gilbert_elliott_validation():
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(p_gb=1.5, p_bg=0.1)
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(p_gb=0.1, p_bg=0.1, loss_bad=-0.2)

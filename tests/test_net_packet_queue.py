@@ -1,0 +1,88 @@
+"""Unit tests for packets and drop-tail queues."""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue
+
+
+def make_packet(size=100):
+    return Packet(size=size, src="a", dst="b", src_port=1, dst_port=2)
+
+
+# ----------------------------------------------------------------------
+# Packet.
+# ----------------------------------------------------------------------
+def test_packet_uids_are_unique():
+    a, b = make_packet(), make_packet()
+    assert a.uid != b.uid
+
+
+def test_packet_size_validation():
+    with pytest.raises(ValueError):
+        Packet(size=0, src="a", dst="b", src_port=1, dst_port=2)
+
+
+def test_packet_route_consumed_in_order():
+    packet = make_packet()
+    packet.route = ("link0", "link1")
+    assert packet.next_link() == "link0"
+    assert packet.next_link() == "link1"
+    assert packet.next_link() is None
+
+
+def test_packet_empty_route_delivers_immediately():
+    packet = make_packet()
+    assert packet.next_link() is None
+
+
+# ----------------------------------------------------------------------
+# DropTailQueue.
+# ----------------------------------------------------------------------
+def test_queue_fifo_order():
+    queue = DropTailQueue(capacity=10)
+    packets = [make_packet() for __ in range(3)]
+    for packet in packets:
+        assert queue.try_enqueue(packet)
+    assert [queue.dequeue() for __ in range(3)] == packets
+
+
+def test_queue_capacity_enforced():
+    queue = DropTailQueue(capacity=2)
+    assert queue.try_enqueue(make_packet())
+    assert queue.try_enqueue(make_packet())
+    assert not queue.try_enqueue(make_packet())
+    assert queue.drops == 1
+    assert len(queue) == 2
+
+
+def test_queue_dequeue_empty_returns_none():
+    assert DropTailQueue().dequeue() is None
+
+
+def test_queue_high_watermark_tracks_peak():
+    queue = DropTailQueue(capacity=10)
+    for __ in range(5):
+        queue.try_enqueue(make_packet())
+    for __ in range(5):
+        queue.dequeue()
+    assert queue.high_watermark == 5
+
+
+def test_queue_occupancy_bytes():
+    queue = DropTailQueue()
+    queue.try_enqueue(make_packet(size=100))
+    queue.try_enqueue(make_packet(size=250))
+    assert queue.occupancy_bytes == 350
+
+
+def test_queue_clear():
+    queue = DropTailQueue()
+    queue.try_enqueue(make_packet())
+    queue.clear()
+    assert len(queue) == 0
+
+
+def test_queue_capacity_validation():
+    with pytest.raises(ValueError):
+        DropTailQueue(capacity=0)

@@ -1,0 +1,184 @@
+"""Tests for the second-wave additions: the conventional-TCP comparator
+in the harness, the HMTP-like stop-and-wait mode, the loss×buffer
+heatmap, and trace-replay loss."""
+
+import random
+
+import pytest
+
+from repro.core.config import FmtcpConfig
+from repro.experiments.ablations import ablate_allocation
+from repro.experiments.heatmap import HeatmapResult, run_heatmap
+from repro.experiments.runner import run_transfer
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss, ReplayLoss, record_loss_trace
+from repro.workloads.scenarios import TABLE1_CASES, table1_path_configs
+
+
+# ----------------------------------------------------------------------
+# protocol="tcp" in the harness.
+# ----------------------------------------------------------------------
+def test_tcp_protocol_runs_single_best_path():
+    result = run_transfer(
+        "tcp", table1_path_configs(TABLE1_CASES[3]), duration_s=6.0, seed=1
+    )
+    assert result.protocol == "tcp"
+    assert len(result.subflow_stats) == 1  # one path only
+    assert result.summary["total_mbytes"] > 0
+    assert "chunks_retransmitted" in result.extras
+
+
+def test_tcp_picks_the_clean_path():
+    """The single-TCP comparator must ride subflow 1 (0 % loss)."""
+    result = run_transfer(
+        "tcp", table1_path_configs(TABLE1_CASES[3]), duration_s=10.0, seed=1
+    )
+    assert result.extras["chunks_retransmitted"] == 0
+    assert result.subflow_stats[0]["lost_dupack"] == 0
+
+
+def test_papers_opening_claim_mptcp_worse_than_tcp():
+    """Section I: MPTCP can be worse than ordinary TCP (case 4)."""
+    tcp = run_transfer(
+        "tcp", table1_path_configs(TABLE1_CASES[3]), duration_s=20.0, seed=1
+    )
+    mptcp = run_transfer(
+        "mptcp", table1_path_configs(TABLE1_CASES[3]), duration_s=20.0, seed=1
+    )
+    assert mptcp.summary["total_mbytes"] < tcp.summary["total_mbytes"]
+
+
+def test_fmtcp_aggregates_above_tcp_on_good_paths():
+    tcp = run_transfer(
+        "tcp", table1_path_configs(TABLE1_CASES[0]), duration_s=20.0, seed=1
+    )
+    fmtcp = run_transfer(
+        "fmtcp", table1_path_configs(TABLE1_CASES[0]), duration_s=20.0, seed=1
+    )
+    assert fmtcp.summary["total_mbytes"] > tcp.summary["total_mbytes"]
+
+
+# ----------------------------------------------------------------------
+# Stop-and-wait (HMTP-like) allocation.
+# ----------------------------------------------------------------------
+def test_stopwait_mode_accepted_and_runs():
+    config = FmtcpConfig(allocation="stopwait")
+    result = run_transfer(
+        "fmtcp",
+        table1_path_configs(TABLE1_CASES[3]),
+        duration_s=6.0,
+        seed=1,
+        fmtcp_config=config,
+    )
+    assert result.extras["blocks_decoded"] > 0
+
+
+def test_stopwait_wastes_bandwidth_vs_eat():
+    """The paper's Section II criticism of HMTP, quantified."""
+    results = ablate_allocation(case_id=4, duration_s=10.0, seed=1)
+    assert set(results) == {"eat", "greedy", "stopwait"}
+    assert (
+        results["stopwait"].extras["redundancy_ratio"]
+        > 3 * results["eat"].extras["redundancy_ratio"]
+    )
+    assert (
+        results["eat"].summary["goodput_mbytes_per_s"]
+        > 2 * results["stopwait"].summary["goodput_mbytes_per_s"]
+    )
+
+
+def test_unknown_allocation_mode_rejected():
+    with pytest.raises(ValueError):
+        FmtcpConfig(allocation="psychic")
+
+
+# ----------------------------------------------------------------------
+# Heatmap.
+# ----------------------------------------------------------------------
+def test_heatmap_grid_complete():
+    result = run_heatmap(
+        loss_rates=(0.05, 0.15), pending_blocks=(8, 16), duration_s=5.0
+    )
+    assert len(result.ratios) == 4
+    assert all(ratio > 0 for ratio in result.ratios.values())
+
+
+def test_heatmap_render_shape():
+    result = HeatmapResult(loss_rates=[0.1], pending_blocks=[8, 16])
+    result.ratios = {(0.1, 8): 0.95, (0.1, 16): 2.5}
+    lines = result.render()
+    assert len(lines) == 3  # legend + header + one row
+    assert "##" in lines[2] and "- " in lines[2]
+
+
+def test_heatmap_glyph_buckets():
+    result = HeatmapResult(loss_rates=[], pending_blocks=[])
+    assert result.glyph(0.5) == "--"
+    assert result.glyph(1.05) == "≈ "
+    assert result.glyph(1.2) == "+ "
+    assert result.glyph(3.0) == "##"
+
+
+# ----------------------------------------------------------------------
+# Replay loss.
+# ----------------------------------------------------------------------
+def test_replay_loss_replays_exact_sequence():
+    model = ReplayLoss([True, False, True])
+    rng = random.Random(0)
+    assert [model.should_drop(0.0, rng) for __ in range(3)] == [True, False, True]
+    assert not model.should_drop(0.0, rng)  # exhausted -> pass-through
+    assert model.exhausted
+
+
+def test_replay_loss_repeat_mode():
+    model = ReplayLoss([True, False], repeat=True)
+    rng = random.Random(0)
+    outcomes = [model.should_drop(0.0, rng) for __ in range(6)]
+    assert outcomes == [True, False] * 3
+    assert not model.exhausted
+
+
+def test_replay_loss_reset_and_rate():
+    model = ReplayLoss([True, True, False, False])
+    assert model.rate_at(0.0) == pytest.approx(0.5)
+    rng = random.Random(0)
+    model.should_drop(0.0, rng)
+    model.reset()
+    assert model.should_drop(0.0, rng) is True
+
+
+def test_record_loss_trace_from_models():
+    trace = record_loss_trace(BernoulliLoss(0.3), 5000, rng=random.Random(1))
+    assert len(trace) == 5000
+    assert 0.25 < sum(trace) / len(trace) < 0.35
+    bursty = record_loss_trace(
+        GilbertElliottLoss(p_gb=0.05, p_bg=0.2, loss_bad=0.8), 1000,
+        rng=random.Random(2),
+    )
+    replay = ReplayLoss(bursty)
+    rng = random.Random(9)  # rng irrelevant: replay is deterministic
+    assert [replay.should_drop(0.0, rng) for __ in range(1000)] == bursty
+
+
+def test_replay_gives_identical_adversity_to_both_protocols():
+    """With the same recorded trace on subflow 2, both protocols face the
+    exact same drops — loss counts at the link must match."""
+    from repro.net.topology import PathConfig
+
+    trace = record_loss_trace(BernoulliLoss(0.15), 100_000, rng=random.Random(3))
+
+    def configs():
+        return [
+            PathConfig(bandwidth_bps=4e6, delay_s=0.05, loss_rate=0.0),
+            PathConfig(bandwidth_bps=4e6, delay_s=0.05, loss_model=ReplayLoss(trace)),
+        ]
+
+    for protocol in ("fmtcp", "mptcp"):
+        result = run_transfer(protocol, configs(), duration_s=8.0, seed=1)
+        assert result.summary["total_mbytes"] > 0
+
+
+def test_replay_validation():
+    with pytest.raises(ValueError):
+        ReplayLoss([])
+    with pytest.raises(ValueError):
+        record_loss_trace(BernoulliLoss(0.1), 0)

@@ -1,0 +1,77 @@
+"""Tests for the parallel experiment executor."""
+
+import os
+
+import pytest
+
+from repro.experiments.parallel import TransferJob, default_workers, run_jobs
+from repro.workloads.scenarios import TABLE1_CASES, table1_path_configs
+
+
+def make_jobs(n=3, duration=3.0):
+    return [
+        TransferJob(
+            protocol="fmtcp",
+            path_configs=table1_path_configs(TABLE1_CASES[index % 8]),
+            duration_s=duration,
+            seed=index + 1,
+        )
+        for index in range(n)
+    ]
+
+
+def test_serial_execution_returns_in_order():
+    jobs = make_jobs(3)
+    results = run_jobs(jobs, workers=1)
+    assert [result.seed for result in results] == [1, 2, 3]
+    assert all(result.summary["total_mbytes"] > 0 for result in results)
+
+
+def test_parallel_matches_serial_bit_for_bit():
+    jobs = make_jobs(4, duration=2.0)
+    serial = run_jobs(jobs, workers=1)
+    parallel = run_jobs(make_jobs(4, duration=2.0), workers=2)
+    for a, b in zip(serial, parallel):
+        assert a.summary == b.summary
+        assert a.block_delays == b.block_delays
+
+
+def test_single_job_short_circuits_pool():
+    results = run_jobs(make_jobs(1), workers=8)
+    assert len(results) == 1
+
+
+def test_kwargs_forwarded():
+    job = TransferJob(
+        protocol="mptcp",
+        path_configs=table1_path_configs(TABLE1_CASES[0]),
+        duration_s=2.0,
+        kwargs={"collect_series": True, "bin_width_s": 1.0},
+    )
+    (result,) = run_jobs([job], workers=1)
+    assert len(result.goodput_series) == 2
+
+
+def test_default_workers_env(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    assert default_workers() == 4
+    monkeypatch.setenv("REPRO_WORKERS", "junk")
+    assert default_workers() == 1
+    monkeypatch.delenv("REPRO_WORKERS")
+    assert default_workers() == 1
+
+
+def test_table1_suite_parallel_consistency(monkeypatch):
+    """The memoised Table I suite must be identical serial vs parallel."""
+    from repro.experiments.figures import run_table1_suite
+
+    serial = run_table1_suite(
+        duration_s=2.5, seed=42, cases=TABLE1_CASES[:2], use_cache=False
+    )
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    parallel = run_table1_suite(
+        duration_s=2.5, seed=42, cases=TABLE1_CASES[:2], use_cache=False
+    )
+    for protocol in ("fmtcp", "mptcp"):
+        for a, b in zip(serial.results[protocol], parallel.results[protocol]):
+            assert a.summary == b.summary

@@ -1,0 +1,81 @@
+"""Repository self-consistency: docs reference real things.
+
+Keeps README/DESIGN/EXPERIMENTS honest as the codebase evolves — every
+example, benchmark and CLI command mentioned must actually exist.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def read(name: str) -> str:
+    return (REPO / name).read_text()
+
+
+def test_readme_examples_exist():
+    readme = read("README.md")
+    for match in re.findall(r"`examples/([a-z_]+\.py)`", readme):
+        assert (REPO / "examples" / match).is_file(), match
+
+
+def test_all_example_files_are_listed_in_readme():
+    readme = read("README.md")
+    for path in (REPO / "examples").glob("*.py"):
+        assert f"examples/{path.name}" in readme, path.name
+
+
+def test_design_benchmark_references_exist():
+    design = read("DESIGN.md")
+    for match in re.findall(r"`benchmarks/(bench_[a-z0-9_]+\.py)`", design):
+        assert (REPO / "benchmarks" / match).is_file(), match
+
+
+def test_experiments_bench_references_exist():
+    experiments = read("EXPERIMENTS.md")
+    for match in re.findall(r"`(bench_[a-z0-9_]+\.py)`", experiments):
+        assert (REPO / "benchmarks" / match).is_file(), match
+
+
+def test_readme_cli_commands_are_registered():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    readme = read("README.md")
+    for match in re.findall(r"python -m repro ([a-z0-9]+)", readme):
+        if match in ("repro",):
+            continue
+        # parse_args must accept the command (SystemExit means unknown).
+        args = [match] if match != "fig4" else [match]
+        parser.parse_args(args)
+
+
+def test_docs_directory_files_referenced():
+    readme = read("README.md")
+    for path in (REPO / "docs").glob("*.md"):
+        assert f"docs/{path.name}" in readme or path.name == "paper-mapping.md" or (
+            f"docs/{path.name}" in read("DESIGN.md")
+        ), path.name
+
+
+def test_paper_mapping_test_files_exist():
+    mapping = read("docs/paper-mapping.md")
+    for match in re.findall(r"`(test_[a-z0-9_]+\.py)`", mapping):
+        assert (REPO / "tests" / match).is_file(), match
+
+
+def test_version_consistent():
+    import repro
+
+    pyproject = read("pyproject.toml")
+    assert f'version = "{repro.__version__}"' in pyproject
+
+
+def test_public_api_importable():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name

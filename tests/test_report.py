@@ -1,0 +1,65 @@
+"""Tests for the RESULTS.md report assembler."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import (
+    SECTION_ORDER,
+    build_report,
+    collect_results,
+    write_report,
+)
+
+
+def test_collect_results_reads_txt_files(tmp_path):
+    (tmp_path / "fig3_goodput.txt").write_text("rows\n")
+    (tmp_path / "custom_thing.txt").write_text("data\n")
+    (tmp_path / "ignored.json").write_text("{}")
+    results = collect_results(tmp_path)
+    assert set(results) == {"fig3_goodput", "custom_thing"}
+    assert results["fig3_goodput"] == "rows"
+
+
+def test_collect_results_missing_dir():
+    assert collect_results(Path("/nonexistent/dir")) == {}
+
+
+def test_build_report_orders_known_sections_first():
+    results = {
+        "zzz_custom": "custom data",
+        "fig6_jitter": "jitter rows",
+        "table1_path_fidelity": "fidelity rows",
+    }
+    report = build_report(results)
+    table1 = report.index("Table I")
+    fig6 = report.index("Figure 6")
+    custom = report.index("zzz_custom")
+    assert table1 < fig6 < custom
+    assert "Other results" in report
+    assert "```" in report
+
+
+def test_build_report_header_injected():
+    report = build_report({"fig3_goodput": "x"}, header="run: 2026-07-07")
+    assert "run: 2026-07-07" in report
+
+
+def test_write_report_roundtrip(tmp_path):
+    results_dir = tmp_path / "results"
+    results_dir.mkdir()
+    (results_dir / "fig3_goodput.txt").write_text("the rows\n")
+    output = write_report(results_dir=results_dir, output_path=tmp_path / "OUT.md")
+    text = output.read_text()
+    assert text.startswith("# Reproduction results")
+    assert "the rows" in text
+
+
+def test_write_report_without_results_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        write_report(results_dir=tmp_path / "empty", output_path=tmp_path / "OUT.md")
+
+
+def test_section_order_has_no_duplicates():
+    names = [name for name, __ in SECTION_ORDER]
+    assert len(names) == len(set(names))

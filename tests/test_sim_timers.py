@@ -1,0 +1,73 @@
+"""Unit tests for restartable timers."""
+
+from repro.sim.timers import Timer
+
+
+def test_timer_fires_after_delay(sim):
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(2.0)
+    sim.run()
+    assert fired == [2.0]
+
+
+def test_timer_stop_prevents_firing(sim):
+    fired = []
+    timer = Timer(sim, lambda: fired.append(True))
+    timer.start(1.0)
+    timer.stop()
+    sim.run()
+    assert fired == []
+
+
+def test_restart_supersedes_previous_schedule(sim):
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(1.0)
+    timer.restart(5.0)
+    sim.run()
+    assert fired == [5.0]
+
+
+def test_timer_is_one_shot(sim):
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(1.0)
+    sim.run()
+    assert fired == [1.0]
+    assert not timer.armed
+
+
+def test_armed_and_expiry_reflect_state(sim):
+    timer = Timer(sim, lambda: None)
+    assert not timer.armed
+    assert timer.expiry is None
+    timer.start(3.0)
+    assert timer.armed
+    assert timer.expiry == 3.0
+    timer.stop()
+    assert not timer.armed
+
+
+def test_timer_can_rearm_inside_callback(sim):
+    fired = []
+
+    def on_fire():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            timer.start(1.0)
+
+    timer = Timer(sim, on_fire)
+    timer.start(1.0)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_stop_is_idempotent(sim):
+    timer = Timer(sim, lambda: None)
+    timer.stop()
+    timer.start(1.0)
+    timer.stop()
+    timer.stop()
+    sim.run()
+    assert not timer.armed

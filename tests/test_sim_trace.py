@@ -1,0 +1,71 @@
+"""Unit tests for the trace bus."""
+
+from repro.sim.trace import TraceBus, TraceRecord
+
+
+def test_subscriber_receives_matching_kind(trace):
+    seen = []
+    trace.subscribe("packet", seen.append)
+    trace.emit(1.0, "packet", size=100)
+    assert len(seen) == 1
+    assert seen[0].time == 1.0
+    assert seen[0]["size"] == 100
+
+
+def test_subscriber_ignores_other_kinds(trace):
+    seen = []
+    trace.subscribe("packet", seen.append)
+    trace.emit(1.0, "other", x=1)
+    assert seen == []
+
+
+def test_wildcard_receives_everything(trace):
+    seen = []
+    trace.subscribe("*", seen.append)
+    trace.emit(1.0, "a")
+    trace.emit(2.0, "b")
+    assert [record.kind for record in seen] == ["a", "b"]
+
+
+def test_multiple_subscribers_all_notified(trace):
+    seen_a, seen_b = [], []
+    trace.subscribe("k", seen_a.append)
+    trace.subscribe("k", seen_b.append)
+    trace.emit(0.0, "k")
+    assert len(seen_a) == len(seen_b) == 1
+
+
+def test_unsubscribe_stops_delivery(trace):
+    seen = []
+    trace.subscribe("k", seen.append)
+    trace.unsubscribe("k", seen.append)
+    trace.emit(0.0, "k")
+    assert seen == []
+
+
+def test_unsubscribe_wildcard(trace):
+    seen = []
+    trace.subscribe("*", seen.append)
+    trace.unsubscribe("*", seen.append)
+    trace.emit(0.0, "k")
+    assert seen == []
+
+
+def test_has_subscribers(trace):
+    assert not trace.has_subscribers("k")
+    trace.subscribe("k", lambda record: None)
+    assert trace.has_subscribers("k")
+    assert not trace.has_subscribers("other")
+    trace.subscribe("*", lambda record: None)
+    assert trace.has_subscribers("other")
+
+
+def test_record_get_with_default():
+    record = TraceRecord(time=0.0, kind="k", fields={"a": 1})
+    assert record.get("a") == 1
+    assert record.get("missing") is None
+    assert record.get("missing", 7) == 7
+
+
+def test_emit_without_subscribers_is_noop(trace):
+    trace.emit(0.0, "nobody", listening=True)  # must not raise

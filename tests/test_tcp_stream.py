@@ -1,0 +1,105 @@
+"""Tests for the plain single-path TCP connection."""
+
+import pytest
+
+from repro.metrics.collectors import MetricsSuite
+from repro.tcp.stream import TcpConfig, TcpConnection
+from repro.workloads.sources import BulkSource, RandomPayloadSource
+from tests.conftest import make_single_path
+
+
+def run_tcp(source, loss=0.0, duration=30.0, config=None, sink=None, seed=7):
+    network, path, trace = make_single_path(loss=loss, seed=seed)
+    metrics = MetricsSuite(trace)
+    connection = TcpConnection(
+        network.sim, path, source, config=config or TcpConfig(), trace=trace,
+        sink=sink,
+    )
+    connection.start()
+    network.sim.run(until=duration)
+    return connection, metrics
+
+
+def test_clean_path_delivers_all_bytes_in_order():
+    source = RandomPayloadSource(total_bytes=150_000)
+    received = bytearray()
+    connection, __ = run_tcp(
+        source, sink=lambda chunk: received.extend(chunk.payload_bytes)
+    )
+    assert bytes(received) == bytes(source.transcript)
+    assert connection.delivered_bytes == 150_000
+
+
+def test_lossy_path_delivers_exactly_once():
+    source = RandomPayloadSource(total_bytes=120_000)
+    received = bytearray()
+    connection, __ = run_tcp(
+        source,
+        loss=0.2,
+        duration=120.0,
+        sink=lambda chunk: received.extend(chunk.payload_bytes),
+    )
+    assert bytes(received) == bytes(source.transcript)
+    assert connection.chunks_retransmitted > 0
+
+
+def test_no_retransmissions_without_loss():
+    connection, __ = run_tcp(BulkSource(400_000), duration=10.0)
+    assert connection.chunks_retransmitted == 0
+
+
+def test_flow_control_limits_outstanding():
+    config = TcpConfig(recv_buffer_chunks=4)
+    connection, __ = run_tcp(BulkSource(), duration=3.0, config=config)
+    assert connection._next_seq - connection.cumulative_acked <= 4
+
+
+def test_block_done_trace_events():
+    from repro.sim.trace import TraceBus
+
+    network, path, trace = make_single_path()
+    records = []
+    trace.subscribe("conn.block_done", records.append)
+    connection = TcpConnection(network.sim, path, BulkSource(), trace=trace)
+    connection.start()
+    network.sim.run(until=5.0)
+    assert records
+    assert [record["block_id"] for record in records] == list(range(len(records)))
+
+
+def test_goodput_matches_delivered_bytes():
+    connection, metrics = run_tcp(BulkSource(), duration=5.0)
+    assert metrics.goodput.total_bytes == connection.delivered_bytes
+    assert connection.delivered_bytes > 0
+
+
+def test_throughput_tracks_reno_on_lossy_path():
+    """Goodput on a 5 % path should sit in the PFTK ballpark."""
+    from repro.analysis.throughput import pftk_throughput_pps
+
+    connection, metrics = run_tcp(BulkSource(), loss=0.05, duration=60.0)
+    measured_pps = metrics.goodput.total_bytes / 1400 / 60.0
+    rtt = connection.subflow.srtt
+    predicted_pps = pftk_throughput_pps(rtt, connection.subflow.rto_value, 0.05)
+    assert 0.3 < measured_pps / predicted_pps < 3.0
+
+
+def test_app_limited_source():
+    class Dribble:
+        def __init__(self):
+            self.granted = 0
+
+        def pull(self, max_bytes):
+            if self.granted >= 2:
+                return 0
+            self.granted += 1
+            return 500
+
+    connection, __ = run_tcp(Dribble(), duration=2.0)
+    assert connection.delivered_bytes == 1000
+
+
+def test_close_releases_ports():
+    connection, __ = run_tcp(BulkSource(10_000), duration=5.0)
+    connection.close()
+    connection.subflow.src_node.bind(connection.subflow.src_port, lambda p: None)

@@ -1,0 +1,193 @@
+"""Tests for the VBR video source and the link/queue monitors."""
+
+import pytest
+
+from repro.core.config import FmtcpConfig
+from repro.core.connection import FmtcpConnection
+from repro.metrics.collectors import MetricsSuite
+from repro.net.monitors import QueueMonitor, UtilisationMonitor
+from repro.net.queues import RedQueue
+from repro.net.topology import PathConfig, build_two_path_network
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceBus
+from repro.workloads.sources import BulkSource
+from repro.workloads.video import VbrVideoSource
+
+
+# ----------------------------------------------------------------------
+# VBR source.
+# ----------------------------------------------------------------------
+class PumpCounter:
+    def __init__(self):
+        self.pumps = 0
+
+    def pump(self):
+        self.pumps += 1
+
+
+def test_vbr_mean_rate_matches_target():
+    sim = Simulator()
+    source = VbrVideoSource(sim, mean_rate_bps=2.4e6, fps=25.0, seed=1)
+    source.attach(PumpCounter())
+    sim.run(until=20.0)
+    produced_bits = sum(source.frame_sizes) * 8
+    assert produced_bits / 20.0 == pytest.approx(2.4e6, rel=0.1)
+
+
+def test_vbr_iframes_are_larger():
+    sim = Simulator()
+    source = VbrVideoSource(
+        sim, fps=25.0, gop_pattern="IPPP", jitter_fraction=0.0, seed=2
+    )
+    source.attach(PumpCounter())
+    sim.run(until=4.0)
+    i_frames = source.frame_sizes[0::4]
+    p_frames = source.frame_sizes[1::4]
+    assert min(i_frames) > max(p_frames)
+
+
+def test_vbr_pull_respects_buffer():
+    sim = Simulator()
+    source = VbrVideoSource(sim, mean_rate_bps=8e5, fps=10.0, seed=3)
+    assert source.pull(1000) == 0  # nothing emitted yet
+    source.attach(PumpCounter())
+    sim.run(until=0.5)
+    total = 0
+    while True:
+        granted = source.pull(1400)
+        if not granted:
+            break
+        total += granted
+    assert total == sum(source.frame_sizes)
+
+
+def test_vbr_total_frames_cap():
+    sim = Simulator()
+    source = VbrVideoSource(sim, fps=50.0, total_frames=5, seed=4)
+    source.attach(PumpCounter())
+    sim.run(until=5.0)
+    assert len(source.frame_sizes) == 5
+    while source.pull(10_000):
+        pass
+    assert source.exhausted
+
+
+def test_vbr_wakes_connection_per_frame():
+    sim = Simulator()
+    counter = PumpCounter()
+    source = VbrVideoSource(sim, fps=20.0, seed=5)
+    source.attach(counter)
+    sim.run(until=1.0)
+    assert 19 <= counter.pumps <= 21
+
+
+def test_vbr_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        VbrVideoSource(sim, mean_rate_bps=0.0)
+    with pytest.raises(ValueError):
+        VbrVideoSource(sim, gop_pattern="IXP")
+    with pytest.raises(ValueError):
+        VbrVideoSource(sim, jitter_fraction=1.5)
+
+
+def test_vbr_streams_over_fmtcp():
+    trace = TraceBus()
+    network, paths = build_two_path_network(
+        [
+            PathConfig(bandwidth_bps=6e6, delay_s=0.02),
+            PathConfig(bandwidth_bps=6e6, delay_s=0.04, loss_rate=0.05),
+        ],
+        rng=RngStreams(6),
+        trace=trace,
+    )
+    metrics = MetricsSuite(trace)
+    source = VbrVideoSource(network.sim, mean_rate_bps=2e6, fps=25.0, seed=6)
+    connection = FmtcpConnection(
+        network.sim, paths, source, config=FmtcpConfig(), trace=trace,
+        rng=RngStreams(6),
+    )
+    source.attach(connection)
+    connection.start()
+    network.sim.run(until=20.0)
+    # Everything the codec produced (minus the tail in flight) delivered.
+    assert metrics.goodput.total_bytes > 0.9 * sum(source.frame_sizes)
+
+
+# ----------------------------------------------------------------------
+# Monitors.
+# ----------------------------------------------------------------------
+def saturated_link_network(queue_factory=None):
+    trace = TraceBus()
+    network, paths = build_two_path_network(
+        [
+            PathConfig(
+                bandwidth_bps=4e6,
+                delay_s=0.05,
+                queue_factory=queue_factory,
+            )
+        ],
+        rng=RngStreams(7),
+        trace=trace,
+    )
+    connection = FmtcpConnection(
+        network.sim, paths, BulkSource(), config=FmtcpConfig(), trace=trace,
+        rng=RngStreams(7),
+    )
+    return network, paths, connection
+
+
+def test_queue_monitor_sees_bufferbloat_under_droptail():
+    network, paths, connection = saturated_link_network()
+    monitor = QueueMonitor(network.sim, paths[0].forward_links[0], period_s=0.1)
+    monitor.start()
+    connection.start()
+    network.sim.run(until=20.0)
+    # Reno fills the drop-tail queue: a standing queue tens deep.
+    assert monitor.mean_depth() > 20
+    assert monitor.max_depth() <= 100
+
+
+def test_red_keeps_queue_short():
+    network, paths, connection = saturated_link_network(
+        queue_factory=lambda: RedQueue(
+            capacity=100, min_threshold=5, max_threshold=20, max_probability=0.2
+        )
+    )
+    monitor = QueueMonitor(network.sim, paths[0].forward_links[0], period_s=0.1)
+    monitor.start()
+    connection.start()
+    network.sim.run(until=20.0)
+    assert monitor.mean_depth() < 20
+
+
+def test_utilisation_monitor_full_link():
+    network, paths, connection = saturated_link_network()
+    monitor = UtilisationMonitor(network.sim, paths[0].forward_links[0], period_s=1.0)
+    monitor.start()
+    connection.start()
+    network.sim.run(until=10.0)
+    assert monitor.mean_utilisation() > 0.85
+    assert all(value <= 1.05 for __, value in monitor.samples)
+
+
+def test_monitor_stop_halts_sampling():
+    network, paths, connection = saturated_link_network()
+    monitor = QueueMonitor(network.sim, paths[0].forward_links[0], period_s=0.1)
+    monitor.start()
+    connection.start()
+    network.sim.run(until=1.0)
+    count = len(monitor.samples)
+    monitor.stop()
+    network.sim.run(until=2.0)
+    assert len(monitor.samples) == count
+
+
+def test_monitor_validation():
+    sim = Simulator()
+    network, paths, __ = saturated_link_network()
+    with pytest.raises(ValueError):
+        QueueMonitor(sim, paths[0].forward_links[0], period_s=0.0)
+    with pytest.raises(ValueError):
+        UtilisationMonitor(sim, paths[0].forward_links[0], period_s=-1.0)

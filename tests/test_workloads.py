@@ -1,0 +1,144 @@
+"""Tests for traffic sources and scenario catalogues."""
+
+import pytest
+
+from repro.net.loss import ScheduledLoss
+from repro.sim.engine import Simulator
+from repro.workloads.scenarios import (
+    SUBFLOW1_CONFIG,
+    TABLE1_CASES,
+    surge_path_configs,
+    table1_path_configs,
+)
+from repro.workloads.sources import BulkSource, CbrSource, RandomPayloadSource
+
+
+# ----------------------------------------------------------------------
+# BulkSource.
+# ----------------------------------------------------------------------
+def test_bulk_infinite_always_grants():
+    source = BulkSource()
+    assert source.pull(1400) == 1400
+    assert not source.exhausted
+
+
+def test_bulk_finite_grants_until_total():
+    source = BulkSource(total_bytes=3000)
+    assert source.pull(1400) == 1400
+    assert source.pull(1400) == 1400
+    assert source.pull(1400) == 200
+    assert source.pull(1400) == 0
+    assert source.exhausted
+
+
+def test_bulk_negative_total_rejected():
+    with pytest.raises(ValueError):
+        BulkSource(total_bytes=-1)
+
+
+# ----------------------------------------------------------------------
+# RandomPayloadSource.
+# ----------------------------------------------------------------------
+def test_random_payload_transcript_matches_grants():
+    source = RandomPayloadSource(total_bytes=250)
+    chunks = []
+    while True:
+        chunk = source.pull(100)
+        if not chunk:
+            break
+        chunks.append(chunk)
+    assert [len(chunk) for chunk in chunks] == [100, 100, 50]
+    assert b"".join(chunks) == bytes(source.transcript)
+    assert source.exhausted
+
+
+def test_random_payload_returns_bytes():
+    source = RandomPayloadSource(total_bytes=10)
+    assert isinstance(source.pull(10), bytes)
+
+
+# ----------------------------------------------------------------------
+# CbrSource.
+# ----------------------------------------------------------------------
+def test_cbr_credit_accrues_with_time():
+    sim = Simulator()
+    source = CbrSource(sim, rate_bps=8000.0)  # 1000 bytes/s
+    assert source.pull(100) == 0
+    sim.schedule(0.5, lambda: None)
+    sim.run()
+    assert source.pull(10_000) == 500
+    assert source.pull(10_000) == 0  # credit consumed
+
+
+def test_cbr_total_bytes_cap():
+    sim = Simulator()
+    source = CbrSource(sim, rate_bps=8000.0, total_bytes=300)
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    assert source.pull(10_000) == 300
+    assert source.exhausted
+
+
+def test_cbr_wakes_attached_connection():
+    sim = Simulator()
+    source = CbrSource(sim, rate_bps=8000.0, wake_interval=0.1, total_bytes=100)
+
+    class FakeConnection:
+        def __init__(self):
+            self.pumps = 0
+
+        def pump(self):
+            self.pumps += 1
+
+    connection = FakeConnection()
+    source.attach(connection)
+    sim.run(until=1.0)
+    assert connection.pumps >= 5
+
+
+def test_cbr_rate_validation():
+    with pytest.raises(ValueError):
+        CbrSource(Simulator(), rate_bps=0.0)
+
+
+# ----------------------------------------------------------------------
+# Scenarios.
+# ----------------------------------------------------------------------
+def test_table1_catalogue_matches_paper():
+    assert len(TABLE1_CASES) == 8
+    delays = [case.delay_s for case in TABLE1_CASES]
+    losses = [case.loss_rate for case in TABLE1_CASES]
+    assert delays == [0.100, 0.100, 0.100, 0.100, 0.025, 0.050, 0.100, 0.150]
+    assert losses == [0.02, 0.05, 0.10, 0.15, 0.10, 0.10, 0.10, 0.10]
+
+
+def test_subflow1_fixed_parameters():
+    assert SUBFLOW1_CONFIG.delay_s == 0.100
+    assert SUBFLOW1_CONFIG.loss_rate == 0.0
+
+
+def test_table1_path_configs_shape():
+    configs = table1_path_configs(TABLE1_CASES[4])
+    assert len(configs) == 2
+    assert configs[0].delay_s == 0.100 and configs[0].loss_rate == 0.0
+    assert configs[1].delay_s == 0.025 and configs[1].loss_rate == 0.10
+
+
+def test_surge_path_configs_schedule():
+    configs = surge_path_configs(0.35)
+    assert isinstance(configs[1].loss_model, ScheduledLoss)
+    model = configs[1].loss_model
+    assert model.rate_at(0.0) == pytest.approx(0.01)
+    assert model.rate_at(100.0) == pytest.approx(0.35)
+    assert model.rate_at(250.0) == pytest.approx(0.01)
+    # Subflow 1 keeps the constant base loss.
+    assert configs[0].loss_rate == pytest.approx(0.01)
+
+
+def test_surge_validation():
+    with pytest.raises(ValueError):
+        surge_path_configs(1.0)
+
+
+def test_case_labels_human_readable():
+    assert "100ms/15%" in TABLE1_CASES[3].label()
