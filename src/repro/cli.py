@@ -272,6 +272,74 @@ def cmd_replicate(args: argparse.Namespace) -> None:
         )
 
 
+def cmd_faults(args: argparse.Namespace) -> None:
+    from repro.faults import (
+        SCENARIOS,
+        measure_fault_response,
+        resolve_scenario,
+        run_chaos,
+    )
+
+    if args.scenario == "list":
+        print("Preset fault scenarios (also accepts random:SEED):")
+        for name in sorted(SCENARIOS):
+            scenario = SCENARIOS[name]()
+            print(
+                f"  {name:>20}: {len(scenario.events)} events, "
+                f"faults {scenario.fault_start:.0f}-{scenario.heal_time:.0f}s"
+            )
+        return
+    scenario = resolve_scenario(args.scenario)
+    protocols = ("fmtcp", "mptcp") if args.protocol == "both" else (args.protocol,)
+    # Always leave room to recover after the last fault heals.
+    duration = max(args.duration or 40.0, scenario.heal_time + 4.0)
+    print(
+        f"Scenario {scenario.name}: {len(scenario.events)} events, "
+        f"faults {scenario.fault_start:.1f}-{scenario.heal_time:.1f}s, "
+        f"{duration:.0f}s run, seed {args.seed}"
+    )
+    for protocol in protocols:
+        report = run_chaos(protocol, scenario, seed=args.seed, duration_s=duration)
+        status = "OK" if report.ok else "VIOLATIONS"
+        completed = (
+            f"completed at {report.completion_time_s:.1f}s"
+            if report.completion_time_s is not None
+            else f"incomplete ({report.delivered_bytes}/{report.expected_bytes} B)"
+        )
+        print(
+            f"  {protocol:>6}: {status} — {completed}, "
+            f"{report.bytes_at_heal}/{report.expected_bytes} B by heal"
+        )
+        for violation in report.violations:
+            print(f"          ! {violation}")
+    if args.bench:
+        print("Goodput response (open-ended transfer):")
+        widths = [8, 10, 10, 10, 10, 10]
+        print(
+            _fmt_row(
+                ["proto", "pre(MB/s)", "dur(MB/s)", "post(MB/s)", "retain", "recov(s)"],
+                widths,
+            )
+        )
+        for protocol in protocols:
+            bench = measure_fault_response(
+                protocol, scenario, seed=args.seed, duration_s=duration
+            )
+            print(
+                _fmt_row(
+                    [
+                        protocol,
+                        f"{bench.pre_mbps:.3f}",
+                        f"{bench.during_mbps:.3f}",
+                        f"{bench.post_mbps:.3f}",
+                        f"{bench.retention:.2f}",
+                        "never" if bench.recovery_s is None else f"{bench.recovery_s:.1f}",
+                    ],
+                    widths,
+                )
+            )
+
+
 def cmd_all(args: argparse.Namespace) -> None:
     for command in (cmd_table1, cmd_fig3, cmd_fig5, cmd_fig6, cmd_fig7, cmd_analysis):
         command(args)
@@ -320,6 +388,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("sensitivity", help="loss/bandwidth/delay sweeps").set_defaults(
         fn=cmd_sensitivity
     )
+    faults = sub.add_parser("faults", help="fault injection: chaos run + recovery")
+    faults.add_argument(
+        "--scenario",
+        type=str,
+        default="path_death",
+        help="preset name, random:SEED, or 'list'",
+    )
+    faults.add_argument(
+        "--protocol", choices=("fmtcp", "mptcp", "both"), default="both"
+    )
+    faults.add_argument(
+        "--bench", action="store_true", help="also measure retention/recovery"
+    )
+    faults.set_defaults(fn=cmd_faults)
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--surge", type=float, default=0.25)
     everything.set_defaults(fn=cmd_all)

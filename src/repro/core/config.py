@@ -102,6 +102,13 @@ class FmtcpConfig:
     # healed path re-earns trust in seconds, one EWMA sample per RTT.
     probe_chain_threshold: float = 0.2
 
+    # Dead-path failover: after this many consecutive RTO firings with no
+    # intervening ACK, a subflow is declared potentially failed — the EAT
+    # allocator stops assigning symbols to it and the subflow drops to
+    # one-probe-per-backed-off-RTO until a probe is acknowledged. None
+    # disables detection (pre-failover behaviour).
+    failover_rto_threshold: Optional[int] = 3
+
     def __post_init__(self) -> None:
         if self.symbols_per_block < 1:
             raise ValueError("symbols_per_block must be >= 1")
@@ -121,6 +128,8 @@ class FmtcpConfig:
             raise ValueError('LT coding requires coding="real"')
         if self.code == "lt" and self.systematic:
             raise ValueError("systematic mode applies to the RLC code only")
+        if self.failover_rto_threshold is not None and self.failover_rto_threshold < 1:
+            raise ValueError("failover_rto_threshold must be >= 1 or None")
         if self.symbol_wire_size > self.mss:
             raise ValueError(
                 f"one symbol ({self.symbol_wire_size}B on the wire) must fit "

@@ -69,6 +69,7 @@ class FmtcpConnection:
                 mss=self.config.mss,
                 dup_ack_threshold=self.config.dup_ack_threshold,
                 trace=trace,
+                failed_rto_threshold=self.config.failover_rto_threshold,
             )
             self.subflows.append(subflow)
             self._sinks.append(

@@ -59,6 +59,8 @@ class FmtcpSender(SubflowOwner):
         self.symbols_lost = 0
         self.allocation_iterations = 0
         self.probes_sent = 0
+        self.failover_probes_sent = 0
+        self.suspect_events = 0
 
     def attach_subflows(self, subflows: Sequence[Subflow]) -> None:
         """Register the subflows this sender drives (done by the connection)."""
@@ -73,7 +75,14 @@ class FmtcpSender(SubflowOwner):
         estimate = max(aged, self.config.loss_estimate_floor)
         return min(estimate, _MAX_LOSS)
 
-    def path_estimates(self) -> List[PathEstimate]:
+    def path_estimates(self, include_suspect: bool = False) -> List[PathEstimate]:
+        """Snapshots for the allocator.
+
+        Potentially-failed subflows are excluded by default: until one of
+        their probes is acknowledged, Algorithm 1 must not count on them
+        to deliver symbols (their stale RTT would otherwise keep winning
+        EAT comparisons while everything they carry evaporates).
+        """
         return [
             PathEstimate(
                 subflow_id=subflow.subflow_id,
@@ -84,6 +93,7 @@ class FmtcpSender(SubflowOwner):
                 tau=subflow.tau,
             )
             for subflow in self.subflows
+            if include_suspect or not subflow.potentially_failed
         ]
 
     # ------------------------------------------------------------------
@@ -114,6 +124,17 @@ class FmtcpSender(SubflowOwner):
         pending = self.blocks.pending_blocks
         if not pending:
             return None
+        if subflow.potentially_failed:
+            # Dead-path probe: one greedily-filled packet of the *last*
+            # pending block per backed-off RTO (the subflow's pump gating
+            # caps it at one in flight). Useful symbols if the path turns
+            # out alive, no urgent block held hostage if it does not.
+            probe = AllocationResult(
+                vector=[(pending[-1].block_id, self.config.symbols_per_packet)]
+            )
+            self.probes_sent += 1
+            self.failover_probes_sent += 1
+            return self._build_packet(subflow, probe)
         if self.config.allocation == "eat" and self._should_probe(subflow):
             # Bypass the EAT ranking for one packet so the quarantined
             # path's quality estimate gets new evidence (an RTT sample or
@@ -199,6 +220,23 @@ class FmtcpSender(SubflowOwner):
         self.symbols_lost += payload.total_symbols()
         # Losing symbols re-opens demand; give every subflow a chance to
         # carry the replacements (the allocator decides which one wins).
+        self.pump_all()
+
+    # ------------------------------------------------------------------
+    # SubflowOwner: dead-path failover.
+    # ------------------------------------------------------------------
+    def on_subflow_suspect(self, subflow: Subflow) -> None:
+        # The suspect path's in-flight symbols were already written off by
+        # on_payload_lost; all that remains is to re-offer the reopened
+        # demand to the live subflows (path_estimates now excludes the
+        # suspect one, so the allocator routes around it).
+        self.suspect_events += 1
+        self.pump_all()
+
+    def on_subflow_recovered(self, subflow: Subflow) -> None:
+        # An acknowledged probe readmits the path to the allocator; its
+        # loss estimate still carries the quarantine pessimism, which the
+        # probe-chaining mechanism pays down one EWMA sample per RTT.
         self.pump_all()
 
     # ------------------------------------------------------------------

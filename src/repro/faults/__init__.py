@@ -1,0 +1,41 @@
+"""Fault injection and chaos-soak testing for running simulations.
+
+``repro.faults`` turns the static topologies of the experiment harness
+into hostile ones: scriptable, deterministic fault timelines
+(:class:`FaultScenario`) that flap links, collapse bandwidth, spike
+delay, burst loss, reorder packets and saturate queues mid-run — plus
+the chaos harness (:func:`run_chaos`) that drives a full transfer
+through a scenario and checks the invariants a robust transport must
+keep, and the benchmark probe (:func:`measure_fault_response`) that
+quantifies goodput retention and recovery time.
+"""
+
+from repro.faults.chaos import (
+    PROTOCOLS,
+    ChaosReport,
+    FaultBenchResult,
+    measure_fault_response,
+    run_chaos,
+)
+from repro.faults.scenario import (
+    FAULT_KINDS,
+    SCENARIOS,
+    FaultEvent,
+    FaultInjector,
+    FaultScenario,
+    resolve_scenario,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "SCENARIOS",
+    "PROTOCOLS",
+    "ChaosReport",
+    "FaultBenchResult",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultScenario",
+    "measure_fault_response",
+    "resolve_scenario",
+    "run_chaos",
+]

@@ -1,0 +1,356 @@
+"""Scriptable fault timelines for running simulations.
+
+A :class:`FaultScenario` is a deterministic, sorted list of
+:class:`FaultEvent` records — "at t=8 s path 1 dies, at t=18 s it
+revives" — that an injector replays against a live topology through the
+mutation APIs on :class:`~repro.net.link.Link`. The taxonomy covers the
+failure modes multipath transports actually meet:
+
+========  ==========================================================
+kind      value / effect
+========  ==========================================================
+down      ``None`` — the path's links drop everything
+up        ``None`` — revive the links
+bandwidth ``factor`` — set bandwidth to ``baseline * factor`` (1.0
+          restores)
+delay     ``factor`` — set propagation delay to ``baseline * factor``
+loss      drop rate in ``[0, 1)`` (a :class:`BernoulliLoss`), or
+          ``None`` to restore the baseline loss model
+reorder   ``(probability, max_extra_s)`` installing a
+          :class:`UniformReordering`, or ``None`` to restore
+queue     waiting-packet capacity (an ``int``), or ``None`` to
+          restore the baseline capacity
+========  ==========================================================
+
+Every scenario heals: by construction the latest event of each fault
+restores its baseline, so :attr:`FaultScenario.heal_time` marks the
+moment after which the network is clean again — the anchor for the
+chaos-soak recovery invariants and the benchmark's recovery-time metric.
+
+Randomised scenarios (:meth:`FaultScenario.random`) draw from a named
+stream of :class:`~repro.sim.rng.RngStreams`, so a seed fully determines
+the timeline across runs and platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.net.loss import BernoulliLoss
+from repro.net.reorder import UniformReordering
+from repro.net.topology import Path
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceBus
+
+FAULT_KINDS = ("down", "up", "bandwidth", "delay", "loss", "reorder", "queue")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timeline entry: mutate ``path`` at simulated ``time``."""
+
+    time: float
+    kind: str
+    path: int
+    value: Any = None
+    direction: str = "both"  # "forward", "reverse" or "both"
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be non-negative, got {self.time}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.path < 0:
+            raise ValueError(f"path index must be non-negative, got {self.path}")
+        if self.direction not in ("forward", "reverse", "both"):
+            raise ValueError(f"unknown direction {self.direction!r}")
+
+
+class FaultScenario:
+    """A named, sorted fault timeline over an ``n_paths``-path topology."""
+
+    def __init__(self, name: str, events: Sequence[FaultEvent], n_paths: int = 2):
+        if n_paths < 1:
+            raise ValueError("n_paths must be >= 1")
+        for event in events:
+            if event.path >= n_paths:
+                raise ValueError(
+                    f"event targets path {event.path} but scenario has "
+                    f"{n_paths} paths"
+                )
+        self.name = name
+        self.n_paths = n_paths
+        # Stable sort: simultaneous events apply in listed order.
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda event: event.time)
+        )
+
+    @property
+    def fault_start(self) -> float:
+        """When the first fault hits (∞ for an empty scenario)."""
+        return self.events[0].time if self.events else float("inf")
+
+    @property
+    def heal_time(self) -> float:
+        """When the last event has applied and the network is clean again."""
+        return self.events[-1].time if self.events else 0.0
+
+    def apply(
+        self,
+        sim: Simulator,
+        paths: Sequence[Path],
+        trace: Optional[TraceBus] = None,
+    ) -> "FaultInjector":
+        """Arm the timeline against a topology; returns the injector."""
+        return FaultInjector(sim, paths, self, trace=trace)
+
+    # ------------------------------------------------------------------
+    # Constructors.
+    # ------------------------------------------------------------------
+    @classmethod
+    def named(cls, name: str) -> "FaultScenario":
+        """Build one of the preset scenarios (see :data:`SCENARIOS`)."""
+        try:
+            factory = SCENARIOS[name]
+        except KeyError:
+            known = ", ".join(sorted(SCENARIOS))
+            raise ValueError(f"unknown scenario {name!r} (known: {known})") from None
+        return factory()
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_paths: int = 2,
+        fault_window: Tuple[float, float] = (3.0, 14.0),
+        heal_time: float = 18.0,
+        min_faults: int = 3,
+        max_faults: int = 6,
+    ) -> "FaultScenario":
+        """A seeded random fault sequence, fully healed by ``heal_time``.
+
+        Faults start inside ``fault_window`` and each clears no later than
+        ``heal_time``; overlapping faults of the same kind are legal (the
+        injector's last write wins) and the final state is always the
+        baseline, because every fault's restore event is its latest event.
+        """
+        if not fault_window[0] < fault_window[1] <= heal_time:
+            raise ValueError("require fault_window[0] < fault_window[1] <= heal_time")
+        rng = RngStreams(seed).get("faults:timeline")
+        events: List[FaultEvent] = []
+        for __ in range(rng.randint(min_faults, max_faults)):
+            kind = rng.choice(
+                ("down", "bandwidth", "delay", "loss", "reorder", "queue")
+            )
+            path = rng.randrange(n_paths)
+            start = rng.uniform(*fault_window)
+            end = min(start + rng.uniform(0.5, 4.0), heal_time)
+            if kind == "down":
+                events.append(FaultEvent(start, "down", path))
+                events.append(FaultEvent(end, "up", path))
+            elif kind == "bandwidth":
+                events.append(
+                    FaultEvent(start, "bandwidth", path, rng.uniform(0.02, 0.3))
+                )
+                events.append(FaultEvent(end, "bandwidth", path, 1.0))
+            elif kind == "delay":
+                events.append(FaultEvent(start, "delay", path, rng.uniform(3.0, 10.0)))
+                events.append(FaultEvent(end, "delay", path, 1.0))
+            elif kind == "loss":
+                events.append(FaultEvent(start, "loss", path, rng.uniform(0.2, 0.9)))
+                events.append(FaultEvent(end, "loss", path, None))
+            elif kind == "reorder":
+                events.append(
+                    FaultEvent(
+                        start,
+                        "reorder",
+                        path,
+                        (rng.uniform(0.1, 0.4), rng.uniform(0.05, 0.2)),
+                    )
+                )
+                events.append(FaultEvent(end, "reorder", path, None))
+            else:  # queue
+                events.append(FaultEvent(start, "queue", path, rng.randint(1, 3)))
+                events.append(FaultEvent(end, "queue", path, None))
+        return cls(f"random:{seed}", events, n_paths=n_paths)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FaultScenario {self.name!r} events={len(self.events)} "
+            f"heal={self.heal_time:.1f}s>"
+        )
+
+
+@dataclass
+class _LinkBaseline:
+    """Pre-fault settings of one link, for restore events."""
+
+    bandwidth_bps: float
+    delay_s: float
+    loss_model: Any
+    reordering_model: Any
+    queue_capacity: int
+
+
+class FaultInjector:
+    """Replays a :class:`FaultScenario` against live :class:`Path` objects.
+
+    Baselines are captured at arm time, so restore events (``factor=1.0``,
+    ``value=None``) return each link to exactly its pre-fault settings no
+    matter how many faults stacked on it in between.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        paths: Sequence[Path],
+        scenario: FaultScenario,
+        trace: Optional[TraceBus] = None,
+    ):
+        if len(paths) < scenario.n_paths:
+            raise ValueError(
+                f"scenario {scenario.name!r} needs {scenario.n_paths} paths, "
+                f"got {len(paths)}"
+            )
+        self.sim = sim
+        self.paths = list(paths)
+        self.scenario = scenario
+        self.trace = trace
+        self.applied: List[FaultEvent] = []
+        self._baselines: Dict[int, _LinkBaseline] = {}
+        for path in self.paths:
+            for link in (*path.forward_links, *path.reverse_links):
+                self._baselines[id(link)] = _LinkBaseline(
+                    bandwidth_bps=link.bandwidth_bps,
+                    delay_s=link.delay_s,
+                    loss_model=link.loss_model,
+                    reordering_model=link.reordering_model,
+                    queue_capacity=link.queue.capacity,
+                )
+        for event in scenario.events:
+            sim.schedule_at(event.time, self._apply, event)
+
+    def _links_of(self, event: FaultEvent):
+        path = self.paths[event.path]
+        if event.direction == "forward":
+            return path.forward_links
+        if event.direction == "reverse":
+            return path.reverse_links
+        return (*path.forward_links, *path.reverse_links)
+
+    def _apply(self, event: FaultEvent) -> None:
+        for link in self._links_of(event):
+            baseline = self._baselines[id(link)]
+            if event.kind == "down":
+                link.set_down(True)
+            elif event.kind == "up":
+                link.set_down(False)
+            elif event.kind == "bandwidth":
+                link.set_bandwidth(baseline.bandwidth_bps * float(event.value))
+            elif event.kind == "delay":
+                link.set_delay(baseline.delay_s * float(event.value))
+            elif event.kind == "loss":
+                if event.value is None:
+                    link.set_loss_model(baseline.loss_model)
+                else:
+                    link.set_loss_model(BernoulliLoss(float(event.value)))
+            elif event.kind == "reorder":
+                if event.value is None:
+                    link.set_reordering_model(baseline.reordering_model)
+                else:
+                    probability, max_extra_s = event.value
+                    link.set_reordering_model(
+                        UniformReordering(probability, max_extra_s=max_extra_s)
+                    )
+            else:  # queue
+                capacity = (
+                    baseline.queue_capacity if event.value is None else int(event.value)
+                )
+                link.queue.capacity = capacity
+        self.applied.append(event)
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now,
+                "fault.apply",
+                fault=event.kind,
+                path=event.path,
+                value=event.value,
+            )
+
+
+# ----------------------------------------------------------------------
+# Preset scenarios. Faults hit path 1 during [8, 18) s (path 0 stays
+# clean), leaving [0, 8) as the pre-fault baseline window and everything
+# after 18 s for recovery measurement.
+# ----------------------------------------------------------------------
+def _link_flap() -> FaultScenario:
+    events = []
+    for start, end in ((8.0, 10.0), (12.0, 14.0), (16.0, 18.0)):
+        events.append(FaultEvent(start, "down", 1))
+        events.append(FaultEvent(end, "up", 1))
+    return FaultScenario("link_flap", events)
+
+
+def _path_death() -> FaultScenario:
+    return FaultScenario(
+        "path_death",
+        [FaultEvent(8.0, "down", 1), FaultEvent(18.0, "up", 1)],
+    )
+
+
+def _bandwidth_collapse() -> FaultScenario:
+    return FaultScenario(
+        "bandwidth_collapse",
+        [FaultEvent(8.0, "bandwidth", 1, 0.05), FaultEvent(18.0, "bandwidth", 1, 1.0)],
+    )
+
+
+def _delay_spike() -> FaultScenario:
+    return FaultScenario(
+        "delay_spike",
+        [FaultEvent(8.0, "delay", 1, 8.0), FaultEvent(18.0, "delay", 1, 1.0)],
+    )
+
+
+def _loss_burst() -> FaultScenario:
+    return FaultScenario(
+        "loss_burst",
+        [FaultEvent(8.0, "loss", 1, 0.5), FaultEvent(18.0, "loss", 1, None)],
+    )
+
+
+def _reorder_storm() -> FaultScenario:
+    return FaultScenario(
+        "reorder_storm",
+        [
+            FaultEvent(8.0, "reorder", 1, (0.3, 0.15)),
+            FaultEvent(18.0, "reorder", 1, None),
+        ],
+    )
+
+
+def _queue_saturation() -> FaultScenario:
+    return FaultScenario(
+        "queue_saturation",
+        [FaultEvent(8.0, "queue", 1, 2), FaultEvent(18.0, "queue", 1, None)],
+    )
+
+
+SCENARIOS: Dict[str, Callable[[], FaultScenario]] = {
+    "link_flap": _link_flap,
+    "path_death": _path_death,
+    "bandwidth_collapse": _bandwidth_collapse,
+    "delay_spike": _delay_spike,
+    "loss_burst": _loss_burst,
+    "reorder_storm": _reorder_storm,
+    "queue_saturation": _queue_saturation,
+}
+
+
+def resolve_scenario(spec: str) -> FaultScenario:
+    """Turn a CLI spec — a preset name or ``random:SEED`` — into a scenario."""
+    if spec.startswith("random:"):
+        return FaultScenario.random(int(spec.split(":", 1)[1]))
+    return FaultScenario.named(spec)

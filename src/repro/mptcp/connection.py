@@ -47,6 +47,12 @@ class MptcpConfig:
     # best other subflow (production-MPTCP rescue behaviour; off by default
     # to match the paper's baseline).
     reinject_after_timeouts: Optional[int] = None
+    # Dead-path failover: after this many consecutive RTO firings with no
+    # intervening ACK, the subflow is declared potentially failed — its
+    # unacked chunks are reinjected onto live subflows, it stops pulling
+    # fresh data, and it probes with duplicates of the head-of-line chunk
+    # at the backed-off RTO pace until an ACK arrives. None disables.
+    failover_rto_threshold: Optional[int] = 3
     # Opportunistic retransmission and penalisation (Raiciu et al.,
     # NSDI'12): when the connection is receive-window limited, reinject
     # the head-of-line chunk on the best other subflow and halve the
@@ -54,6 +60,13 @@ class MptcpConfig:
     # predates it); the scheduler ablation measures how much of FMTCP's
     # advantage survives this stronger baseline.
     opportunistic_retransmission: bool = False
+
+    def __post_init__(self) -> None:
+        if self.failover_rto_threshold is not None and self.failover_rto_threshold < 1:
+            raise ValueError(
+                f"failover_rto_threshold must be >= 1 or None, "
+                f"got {self.failover_rto_threshold}"
+            )
 
 
 class Chunk:
@@ -123,6 +136,7 @@ class MptcpConnection(SubflowOwner):
                 mss=self.config.mss,
                 dup_ack_threshold=self.config.dup_ack_threshold,
                 trace=trace,
+                failed_rto_threshold=self.config.failover_rto_threshold,
             )
             self.subflows.append(subflow)
             self._sinks.append(
@@ -149,6 +163,8 @@ class MptcpConnection(SubflowOwner):
         self._acked_bytes = 0
         self.chunks_retransmitted = 0
         self.chunks_reinjected = 0
+        self.chunks_probe_duplicates = 0
+        self.failover_events = 0
         self.orp_reinjections = 0
         self.orp_penalties = 0
         self._orp_last_dsn = -1
@@ -190,6 +206,19 @@ class MptcpConnection(SubflowOwner):
             self._chunk_registry[chunk.dsn] = (subflow.subflow_id, chunk)
             return chunk, chunk.size
 
+        if subflow.potentially_failed:
+            # A suspect path never pulls fresh data (it would strand it
+            # behind the next blackout). Probe with a *duplicate* of the
+            # head-of-line chunk instead: if the path is alive the ACK
+            # readmits it, and a duplicate arrival is absorbed by the
+            # reorder buffer either way.
+            entry = self._chunk_registry.get(self._data_acked)
+            if entry is None:
+                return None
+            __, chunk = entry
+            self.chunks_probe_duplicates += 1
+            return chunk, chunk.size
+
         credit = self.config.recv_buffer_chunks - (self._next_dsn - self._data_acked)
         if credit <= 0:
             if self.config.opportunistic_retransmission:
@@ -199,12 +228,15 @@ class MptcpConnection(SubflowOwner):
             return None
         # Waterfall arbitration: more-preferred subflows (per the scheduler,
         # lowest SRTT by default) get first claim on scarce send credit; this
-        # subflow may only take a chunk from what they cannot use.
+        # subflow may only take a chunk from what they cannot use. Suspect
+        # subflows reserve nothing — their (stale) window space must not
+        # starve the paths that still deliver.
         reserved = 0
         for candidate in self.scheduler.preference_order(self.subflows):
             if candidate is subflow:
                 break
-            reserved += candidate.window_space
+            if not candidate.potentially_failed:
+                reserved += candidate.window_space
         if credit <= reserved:
             return None
 
@@ -272,9 +304,46 @@ class MptcpConnection(SubflowOwner):
         self._chunk_registry[hol_dsn] = (subflow.subflow_id, chunk)
         return chunk, chunk.size
 
+    # ------------------------------------------------------------------
+    # Dead-path failover (SubflowOwner hooks).
+    # ------------------------------------------------------------------
+    def on_subflow_suspect(self, subflow: Subflow) -> None:
+        """Reinject the declared-dead subflow's repair queue on live paths.
+
+        By the time the consecutive-RTO threshold fires, everything the
+        subflow had in flight has been declared lost into its retx queue;
+        moving that queue to the best live subflow is what un-wedges the
+        connection (the reorder buffer is blocked on exactly these DSNs).
+        """
+        self.failover_events += 1
+        live = [
+            s for s in self.subflows if s is not subflow and not s.potentially_failed
+        ]
+        if not live:
+            return  # Total blackout: every path probes for itself.
+        target = min(live, key=lambda s: (s.srtt, s.subflow_id))
+        queue = self._retx_queues[subflow.subflow_id]
+        moved = 0
+        while queue:
+            chunk = queue.popleft()
+            if chunk.dsn < self._data_acked:
+                continue
+            self._retx_queues[target.subflow_id].append(chunk)
+            self._chunk_registry[chunk.dsn] = (target.subflow_id, chunk)
+            moved += 1
+        if moved:
+            self.chunks_reinjected += moved
+            target.pump()
+
+    def on_subflow_recovered(self, subflow: Subflow) -> None:
+        # The path answered a probe; it may pull fresh data again, and the
+        # other subflows' waterfall reservations change too.
+        self.pump()
+
     def _best_other_subflow(self, excluded: Subflow) -> Subflow:
         candidates = [s for s in self.subflows if s is not excluded]
-        return min(candidates, key=lambda s: (s.srtt, s.subflow_id))
+        live = [s for s in candidates if not s.potentially_failed]
+        return min(live or candidates, key=lambda s: (s.srtt, s.subflow_id))
 
     # ------------------------------------------------------------------
     # Block accounting (paper Section V: stream partitioned into blocks

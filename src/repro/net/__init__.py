@@ -17,6 +17,7 @@ from repro.net.loss import (
 )
 from repro.net.link import Link
 from repro.net.monitors import QueueMonitor, UtilisationMonitor
+from repro.net.reorder import NoReordering, ReorderingModel, UniformReordering
 from repro.net.node import Node
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue, RedQueue
@@ -30,7 +31,10 @@ __all__ = [
     "LossModel",
     "Network",
     "NoLoss",
+    "NoReordering",
     "QueueMonitor",
+    "ReorderingModel",
+    "UniformReordering",
     "Node",
     "Packet",
     "RedQueue",

@@ -5,6 +5,14 @@ drop-tail queue while the link serialises the packet in service
 (``size * 8 / bandwidth`` seconds), then propagate for ``delay`` seconds,
 during which the link is already free to serialise the next packet. Loss
 is sampled when the packet leaves the wire (an erasure en route).
+
+Links are *mutable at runtime*: the fault-injection subsystem
+(:mod:`repro.faults`) drives ``set_bandwidth`` / ``set_delay`` /
+``set_loss_model`` / ``set_down`` / ``set_reordering_model`` mid-
+simulation to model flapping, collapsing and dying paths. Mutations take
+effect for packets entering the affected pipeline stage from then on:
+a packet already being serialised keeps its old finish time, a packet
+already propagating keeps its old arrival time.
 """
 
 from __future__ import annotations
@@ -15,7 +23,9 @@ from typing import Optional
 from repro.net.loss import LossModel, NoLoss
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue
+from repro.net.reorder import ReorderingModel
 from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
 from repro.sim.trace import TraceBus
 
 
@@ -33,6 +43,7 @@ class Link:
         queue: Optional[DropTailQueue] = None,
         rng: Optional[random.Random] = None,
         trace: Optional[TraceBus] = None,
+        reordering_model: Optional[ReorderingModel] = None,
     ):
         if bandwidth_bps <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
@@ -47,22 +58,76 @@ class Link:
         # `queue or ...` would discard a provided *empty* queue (it has
         # __len__ and is falsy), so compare against None explicitly.
         self.queue = queue if queue is not None else DropTailQueue()
-        self.rng = rng or random.Random(0)
+        # Fallback RNG: a per-link stream derived from the link name, so
+        # two links constructed without an explicit rng still see
+        # *independent* loss realisations (a shared Random(0) would give
+        # every such link the same drop sequence).
+        self.rng = rng if rng is not None else RngStreams(0).get(f"link:{name}")
         self.trace = trace
+        self.reordering_model = reordering_model
         self._busy = False
+        self._down = False
         # Counters for link-level accounting in tests and the Table I bench.
         self.packets_sent = 0
         self.packets_dropped_loss = 0
         self.packets_dropped_queue = 0
+        self.packets_dropped_down = 0
         self.packets_delivered = 0
         self.bytes_delivered = 0
 
+    # ------------------------------------------------------------------
+    # Runtime mutation API (driven by repro.faults).
+    # ------------------------------------------------------------------
+    @property
+    def is_down(self) -> bool:
+        """Whether the link is administratively dead (drops everything)."""
+        return self._down
+
+    def set_bandwidth(self, bandwidth_bps: float) -> None:
+        """Change the serialisation rate for packets not yet in service."""
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        self.bandwidth_bps = float(bandwidth_bps)
+
+    def set_delay(self, delay_s: float) -> None:
+        """Change the propagation delay for packets not yet on the wire."""
+        if delay_s < 0:
+            raise ValueError(f"delay must be non-negative, got {delay_s}")
+        self.delay_s = float(delay_s)
+
+    def set_loss_model(self, loss_model: Optional[LossModel]) -> None:
+        """Swap the loss model; ``None`` makes the link lossless."""
+        self.loss_model = loss_model if loss_model is not None else NoLoss()
+
+    def set_reordering_model(self, model: Optional[ReorderingModel]) -> None:
+        """Install (or with ``None`` remove) a reordering model."""
+        self.reordering_model = model
+
+    def set_down(self, down: bool = True) -> None:
+        """Kill (or revive) the link.
+
+        While down, arriving packets are dropped at the entry point and
+        packets finishing serialisation are dropped instead of
+        propagating. Packets already propagating were past the cut and
+        still arrive.
+        """
+        self._down = bool(down)
+        if self.trace is not None:
+            kind = "link.down" if self._down else "link.up"
+            self.trace.emit(self.sim.now, kind, link=self.name)
+
+    # ------------------------------------------------------------------
+    # Data path.
+    # ------------------------------------------------------------------
     def transmission_time(self, packet: Packet) -> float:
         """Serialisation delay of ``packet`` on this link."""
         return packet.size * 8.0 / self.bandwidth_bps
 
     def send(self, packet: Packet) -> None:
         """Entry point: queue the packet or start serialising immediately."""
+        if self._down:
+            self._drop_down(packet)
+            return
         if self._busy:
             if not self.queue.try_enqueue(packet):
                 self.packets_dropped_queue += 1
@@ -72,6 +137,13 @@ class Link:
                     )
             return
         self._start_transmission(packet)
+
+    def _drop_down(self, packet: Packet) -> None:
+        self.packets_dropped_down += 1
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now, "link.drop_down", link=self.name, packet=packet
+            )
 
     def _start_transmission(self, packet: Packet) -> None:
         self._busy = True
@@ -85,6 +157,9 @@ class Link:
         if next_packet is not None:
             self._start_transmission(next_packet)
 
+        if self._down:
+            self._drop_down(packet)
+            return
         if self.loss_model.should_drop(self.sim.now, self.rng):
             self.packets_dropped_loss += 1
             if self.trace is not None:
@@ -92,7 +167,10 @@ class Link:
                     self.sim.now, "link.drop_loss", link=self.name, packet=packet
                 )
             return
-        self.sim.schedule(self.delay_s, self._deliver, packet)
+        delay = self.delay_s
+        if self.reordering_model is not None:
+            delay += self.reordering_model.extra_delay(self.sim.now, self.rng)
+        self.sim.schedule(delay, self._deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:
         self.packets_delivered += 1
@@ -102,7 +180,8 @@ class Link:
         self.dst_node.receive(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " DOWN" if self._down else ""
         return (
             f"<Link {self.name} {self.bandwidth_bps / 1e6:.1f}Mbps "
-            f"{self.delay_s * 1e3:.1f}ms loss={self.loss_model!r}>"
+            f"{self.delay_s * 1e3:.1f}ms loss={self.loss_model!r}{state}>"
         )

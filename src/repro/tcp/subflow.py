@@ -96,6 +96,15 @@ class SubflowOwner:
     def on_ack_feedback(self, subflow: "Subflow", feedback: Any) -> None:
         """Receiver-side piggyback data arrived with an ACK."""
 
+    def on_subflow_suspect(self, subflow: "Subflow") -> None:
+        """The subflow crossed its consecutive-RTO threshold and entered
+        probe mode: treat its path as potentially failed and route around
+        it (reinject its data, exclude it from allocation)."""
+
+    def on_subflow_recovered(self, subflow: "Subflow") -> None:
+        """A previously-suspect subflow saw an ACK again: the path is
+        alive and may rejoin normal scheduling."""
+
 
 class Subflow:
     """Sender endpoint of one subflow."""
@@ -112,7 +121,12 @@ class Subflow:
         dup_ack_threshold: int = 3,
         loss_ewma_gain: float = 0.05,
         trace: Optional[TraceBus] = None,
+        failed_rto_threshold: Optional[int] = None,
     ):
+        if failed_rto_threshold is not None and failed_rto_threshold < 1:
+            raise ValueError(
+                f"failed_rto_threshold must be >= 1, got {failed_rto_threshold}"
+            )
         self.sim = sim
         self.path = path
         self.owner = owner
@@ -122,6 +136,7 @@ class Subflow:
         self.mss = mss
         self.dup_ack_threshold = dup_ack_threshold
         self.loss_ewma_gain = loss_ewma_gain
+        self.failed_rto_threshold = failed_rto_threshold
         self.trace = trace
 
         self.src_node = path.src_node
@@ -135,6 +150,10 @@ class Subflow:
         self._declared_lost: set = set()
         self._recovery_until = -1
         self._timer = Timer(sim, self._on_rto, name=f"rto[{subflow_id}]")
+
+        # Dead-path detection: consecutive RTO firings with no intervening
+        # ACK. At failed_rto_threshold the subflow enters probe mode.
+        self.consecutive_timeouts = 0
 
         # Statistics / estimator state.
         self.loss_rate_estimate = 0.0
@@ -183,6 +202,23 @@ class Subflow:
     def next_seq(self) -> int:
         return self._next_seq
 
+    @property
+    def potentially_failed(self) -> bool:
+        """Whether the path is suspected dead (consecutive-RTO threshold).
+
+        A suspect subflow is restricted to one in-flight packet (a probe,
+        paced by the exponentially backed-off RTO) until an ACK arrives.
+        """
+        return (
+            self.failed_rto_threshold is not None
+            and self.consecutive_timeouts >= self.failed_rto_threshold
+        )
+
+    @property
+    def timer_armed(self) -> bool:
+        """Whether the retransmission timer is pending (invariant checks)."""
+        return self._timer.armed
+
     def outstanding_payloads(self):
         """(seq, payload) of every in-flight packet, in sequence order.
 
@@ -198,8 +234,16 @@ class Subflow:
     # Transmission.
     # ------------------------------------------------------------------
     def pump(self) -> None:
-        """Fill the congestion window from the owner's payload supply."""
+        """Fill the congestion window from the owner's payload supply.
+
+        A potentially-failed subflow is capped at one in-flight packet:
+        each RTO expiry (exponentially backed off) releases exactly one
+        new probe, so a dead path costs one packet per back-off period
+        rather than a whole congestion window.
+        """
         while self.cc.can_send(self.in_flight):
+            if self.potentially_failed and self.in_flight >= 1:
+                return
             supplied = self.owner.next_payload(self)
             if supplied is None:
                 return
@@ -240,6 +284,10 @@ class Subflow:
     def _on_ack_packet(self, packet: Packet) -> None:
         ack: SubflowAck = packet.payload
         seq = ack.echo_seq
+        # Any ACK — even one for a packet we gave up on — proves the path
+        # carries traffic in both directions, so it clears suspicion.
+        was_suspect = self.potentially_failed
+        self.consecutive_timeouts = 0
         info = self._outstanding.pop(seq, None)
         if info is not None:
             self.packets_acked += 1
@@ -257,6 +305,14 @@ class Subflow:
         # Feedback rides on every ACK, even for packets we gave up on.
         if ack.feedback is not None:
             self.owner.on_ack_feedback(self, ack.feedback)
+        if was_suspect:
+            if self.trace is not None and self.trace.has_subscribers(
+                "subflow.recovered"
+            ):
+                self.trace.emit(
+                    self.sim.now, "subflow.recovered", subflow=self.subflow_id
+                )
+            self.owner.on_subflow_recovered(self)
         self._restart_or_stop_timer()
         self.pump()
 
@@ -309,8 +365,20 @@ class Subflow:
         # collapses once (cc.on_timeout in the first _declare_lost; later
         # calls are idempotent at cwnd=1).
         self.rto.on_timeout()
+        self.consecutive_timeouts += 1
         for seq in sorted(self._outstanding, key=lambda s: self._outstanding[s].sent_at):
             self._declare_lost(seq, "timeout")
+        if (
+            self.failed_rto_threshold is not None
+            and self.consecutive_timeouts == self.failed_rto_threshold
+        ):
+            if self.trace is not None and self.trace.has_subscribers(
+                "subflow.suspect"
+            ):
+                self.trace.emit(
+                    self.sim.now, "subflow.suspect", subflow=self.subflow_id
+                )
+            self.owner.on_subflow_suspect(self)
         self._restart_or_stop_timer()
         self.pump()
 

@@ -9,7 +9,7 @@ def test_parser_knows_all_commands():
     parser = build_parser()
     for command in (
         "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "analysis",
-        "fairness", "replicate", "heatmap", "sensitivity", "all",
+        "fairness", "replicate", "heatmap", "sensitivity", "faults", "all",
     ):
         args = parser.parse_args(
             [command] if command != "fig4" else [command, "--surge", "0.2"]
@@ -107,3 +107,34 @@ def test_fig4_plot_and_csv(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "┤" in out  # the ASCII series plot was rendered
     assert "series,time_s,value" in target.read_text()
+
+
+def test_faults_list_command(capsys):
+    assert main(["faults", "--scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "link_flap" in out and "path_death" in out
+    assert "random:SEED" in out
+
+
+def test_faults_chaos_command(capsys):
+    assert main(["faults", "--scenario", "path_death", "--protocol", "fmtcp"]) == 0
+    out = capsys.readouterr().out
+    assert "Scenario path_death" in out
+    assert "fmtcp" in out
+    assert "OK" in out
+    assert "mptcp" not in out  # --protocol fmtcp runs one stack only
+
+
+def test_faults_random_scenario_and_bench(capsys):
+    assert main(
+        ["--duration", "25", "faults", "--scenario", "random:3",
+         "--protocol", "mptcp", "--bench"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Scenario random:3" in out
+    assert "retain" in out and "recov(s)" in out
+
+
+def test_faults_unknown_scenario_raises():
+    with pytest.raises(ValueError):
+        main(["faults", "--scenario", "nonsense"])

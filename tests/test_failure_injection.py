@@ -130,7 +130,9 @@ def test_simultaneous_double_blackout_then_recovery():
 
 def test_fmtcp_timers_quiet_after_finite_transfer():
     """After a finite transfer completes, the event queue drains — no
-    timer leaks keeping the simulation alive forever."""
+    timer leaks keeping the simulation alive forever. Exact accounting:
+    anything still pending must be a cancelled timer tombstone, and after
+    close() + drain_cancelled() the heap is empty."""
     config = FmtcpConfig(max_pending_blocks=4)
     source = BulkSource(total_bytes=6 * config.block_bytes)
     trace = TraceBus()
@@ -144,6 +146,11 @@ def test_fmtcp_timers_quiet_after_finite_transfer():
     connection.start()
     network.sim.run(until=30.0)
     assert connection.delivered_blocks == 6
+    # Every live timer belongs to the connection; closing it cancels them.
+    connection.close()
     network.sim.drain_cancelled()
-    # Whatever remains must be at most a lingering RTO tombstone or two.
-    assert network.sim.pending_events <= 2
+    assert network.sim.pending_events == 0
+    # And with nothing pending, another run() is an immediate no-op.
+    events_before = network.sim.events_processed
+    network.sim.run()
+    assert network.sim.events_processed == events_before

@@ -1,0 +1,318 @@
+"""Unit tests for the fault-injection subsystem: link mutations,
+reordering models, fault timelines and the injector."""
+
+import random
+
+import pytest
+
+from repro.faults import (
+    SCENARIOS,
+    FaultEvent,
+    FaultScenario,
+    resolve_scenario,
+)
+from repro.net.link import Link
+from repro.net.loss import BernoulliLoss, NoLoss
+from repro.net.packet import Packet
+from repro.net.reorder import NoReordering, UniformReordering
+from repro.net.topology import PathConfig, build_two_path_network
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceBus
+
+
+class RecordingNode:
+    """Sink node that records packet arrival order and times."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append((self.sim.now, packet))
+
+
+def make_link(sim, trace=None, **kwargs):
+    node = RecordingNode(sim)
+    defaults = dict(bandwidth_bps=8e6, delay_s=0.01)
+    defaults.update(kwargs)
+    link = Link(sim, "test-link", node, trace=trace, **defaults)
+    return link, node
+
+
+def packet(seq=0, size=1000):
+    return Packet(size=size, src="a", dst="b", src_port=1, dst_port=2, payload=seq)
+
+
+# ----------------------------------------------------------------------
+# Link runtime mutations.
+# ----------------------------------------------------------------------
+def test_link_down_drops_everything(sim):
+    trace = TraceBus()
+    events = []
+    trace.subscribe("link.down", events.append)
+    trace.subscribe("link.up", events.append)
+    link, node = make_link(sim, trace=trace)
+    link.set_down(True)
+    assert link.is_down
+    for seq in range(5):
+        link.send(packet(seq))
+    sim.run()
+    assert node.received == []
+    assert link.packets_dropped_down == 5
+    link.set_down(False)
+    link.send(packet(99))
+    sim.run()
+    assert len(node.received) == 1
+    assert [record.kind for record in events] == ["link.down", "link.up"]
+
+
+def test_link_down_mid_serialisation_drops_at_wire_exit(sim):
+    link, node = make_link(sim, bandwidth_bps=8e3)  # 1 s serialisation
+    link.send(packet(0, size=1000))
+    sim.schedule(0.5, link.set_down, True)
+    sim.run()
+    # The packet was still serialising when the link died: dropped.
+    assert node.received == []
+    assert link.packets_dropped_down == 1
+
+
+def test_link_down_packet_already_propagating_still_arrives(sim):
+    link, node = make_link(sim, bandwidth_bps=8e8, delay_s=1.0)
+    link.send(packet(0))
+    sim.schedule(0.5, link.set_down, True)  # after serialisation, mid-flight
+    sim.run()
+    assert len(node.received) == 1
+
+
+def test_link_set_bandwidth_and_delay_take_effect(sim):
+    link, node = make_link(sim, bandwidth_bps=8e6, delay_s=0.01)
+    link.set_bandwidth(8e3)  # 1 s per 1000 B packet
+    link.set_delay(2.0)
+    link.send(packet(0))
+    sim.run()
+    assert node.received[0][0] == pytest.approx(3.0)
+
+
+def test_link_mutation_validation(sim):
+    link, __ = make_link(sim)
+    with pytest.raises(ValueError):
+        link.set_bandwidth(0.0)
+    with pytest.raises(ValueError):
+        link.set_delay(-0.1)
+
+
+def test_link_set_loss_model_none_restores_lossless(sim):
+    link, node = make_link(sim, loss_model=BernoulliLoss(0.9))
+    link.set_loss_model(None)
+    assert isinstance(link.loss_model, NoLoss)
+    for seq in range(20):
+        link.send(packet(seq))
+    sim.run()
+    assert len(node.received) == 20
+
+
+def test_link_fallback_rngs_are_independent():
+    """Two links built without an explicit rng must not share a stream
+    (a shared Random(0) would give them identical drop sequences)."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    link_a, __ = make_link(sim)
+    link_b = Link(sim, "other-link", RecordingNode(sim), bandwidth_bps=8e6,
+                  delay_s=0.01)
+    draws_a = [link_a.rng.random() for __ in range(50)]
+    draws_b = [link_b.rng.random() for __ in range(50)]
+    assert draws_a != draws_b
+
+
+# ----------------------------------------------------------------------
+# Reordering models.
+# ----------------------------------------------------------------------
+def test_uniform_reordering_validation():
+    with pytest.raises(ValueError):
+        UniformReordering(-0.1)
+    with pytest.raises(ValueError):
+        UniformReordering(1.5)
+    with pytest.raises(ValueError):
+        UniformReordering(0.5, min_extra_s=0.2, max_extra_s=0.1)
+
+
+def test_no_reordering_adds_nothing():
+    assert NoReordering().extra_delay(0.0, random.Random(0)) == 0.0
+
+
+def test_uniform_reordering_counts_and_bounds():
+    model = UniformReordering(1.0, min_extra_s=0.05, max_extra_s=0.2)
+    rng = random.Random(3)
+    delays = [model.extra_delay(0.0, rng) for __ in range(200)]
+    assert model.packets_reordered == 200
+    assert all(0.05 <= delay <= 0.2 for delay in delays)
+
+
+def test_reordering_model_reorders_packets_on_a_link(sim):
+    link, node = make_link(
+        sim,
+        bandwidth_bps=8e8,  # negligible serialisation
+        delay_s=0.001,
+        reordering_model=UniformReordering(0.5, min_extra_s=0.05, max_extra_s=0.1),
+    )
+    for seq in range(100):
+        sim.schedule(seq * 1e-4, link.send, packet(seq))
+    sim.run()
+    arrival_order = [pkt.payload for __, pkt in node.received]
+    assert len(arrival_order) == 100
+    assert arrival_order != sorted(arrival_order)
+
+
+# ----------------------------------------------------------------------
+# FaultEvent / FaultScenario.
+# ----------------------------------------------------------------------
+def test_fault_event_validation():
+    with pytest.raises(ValueError):
+        FaultEvent(-1.0, "down", 0)
+    with pytest.raises(ValueError):
+        FaultEvent(1.0, "meteor", 0)
+    with pytest.raises(ValueError):
+        FaultEvent(1.0, "down", -1)
+    with pytest.raises(ValueError):
+        FaultEvent(1.0, "down", 0, direction="sideways")
+
+
+def test_scenario_sorts_events_and_exposes_window():
+    scenario = FaultScenario(
+        "x",
+        [FaultEvent(9.0, "up", 0), FaultEvent(4.0, "down", 0)],
+    )
+    assert [event.kind for event in scenario.events] == ["down", "up"]
+    assert scenario.fault_start == 4.0
+    assert scenario.heal_time == 9.0
+
+
+def test_scenario_rejects_out_of_range_path():
+    with pytest.raises(ValueError):
+        FaultScenario("x", [FaultEvent(1.0, "down", 2)], n_paths=2)
+
+
+def test_named_scenarios_and_unknown_name():
+    for name in SCENARIOS:
+        scenario = FaultScenario.named(name)
+        assert scenario.name == name
+        assert scenario.events
+    with pytest.raises(ValueError):
+        FaultScenario.named("no_such_scenario")
+
+
+def test_random_scenario_is_deterministic_per_seed():
+    first = FaultScenario.random(42)
+    second = FaultScenario.random(42)
+    other = FaultScenario.random(43)
+    assert first.events == second.events
+    assert first.events != other.events
+
+
+def test_random_scenario_always_heals_in_window():
+    for seed in range(20):
+        scenario = FaultScenario.random(seed, heal_time=18.0)
+        assert scenario.events
+        assert scenario.heal_time <= 18.0
+        # Every fault kind that sets state also has a restoring event at
+        # or after it; the latest event must be a restore.
+        last = scenario.events[-1]
+        restores = (
+            last.kind == "up"
+            or (last.kind in ("bandwidth", "delay") and last.value == 1.0)
+            or (last.kind in ("loss", "reorder", "queue") and last.value is None)
+        )
+        assert restores, f"seed {seed}: last event {last} does not heal"
+
+
+def test_resolve_scenario_specs():
+    assert resolve_scenario("link_flap").name == "link_flap"
+    assert resolve_scenario("random:9").name == "random:9"
+    with pytest.raises(ValueError):
+        resolve_scenario("bogus")
+
+
+# ----------------------------------------------------------------------
+# The injector against a live topology.
+# ----------------------------------------------------------------------
+def build_network(n_paths=2):
+    configs = [
+        PathConfig(bandwidth_bps=4e6, delay_s=0.02) for __ in range(n_paths)
+    ]
+    return build_two_path_network(configs, rng=RngStreams(5), trace=TraceBus())
+
+
+def test_injector_applies_and_restores_bandwidth():
+    network, paths = build_network()
+    baseline = paths[1].forward_links[0].bandwidth_bps
+    scenario = FaultScenario(
+        "bw",
+        [FaultEvent(1.0, "bandwidth", 1, 0.1), FaultEvent(2.0, "bandwidth", 1, 1.0)],
+    )
+    injector = scenario.apply(network.sim, paths)
+    network.sim.run(until=1.5)
+    assert paths[1].forward_links[0].bandwidth_bps == pytest.approx(baseline * 0.1)
+    # Path 0 untouched.
+    assert paths[0].forward_links[0].bandwidth_bps == pytest.approx(baseline)
+    network.sim.run(until=3.0)
+    assert paths[1].forward_links[0].bandwidth_bps == pytest.approx(baseline)
+    assert len(injector.applied) == 2
+
+
+def test_injector_restores_loss_reorder_and_queue_baselines():
+    network, paths = build_network()
+    link = paths[1].forward_links[0]
+    base_loss = link.loss_model
+    base_capacity = link.queue.capacity
+    scenario = FaultScenario(
+        "mix",
+        [
+            FaultEvent(1.0, "loss", 1, 0.5),
+            FaultEvent(1.0, "reorder", 1, (0.3, 0.1)),
+            FaultEvent(1.0, "queue", 1, 2),
+            FaultEvent(2.0, "loss", 1, None),
+            FaultEvent(2.0, "reorder", 1, None),
+            FaultEvent(2.0, "queue", 1, None),
+        ],
+    )
+    scenario.apply(network.sim, paths)
+    network.sim.run(until=1.5)
+    assert isinstance(link.loss_model, BernoulliLoss)
+    assert isinstance(link.reordering_model, UniformReordering)
+    assert link.queue.capacity == 2
+    network.sim.run(until=2.5)
+    assert link.loss_model is base_loss
+    assert link.reordering_model is None
+    assert link.queue.capacity == base_capacity
+
+
+def test_injector_direction_forward_spares_reverse():
+    network, paths = build_network()
+    scenario = FaultScenario(
+        "oneway", [FaultEvent(1.0, "down", 0, direction="forward")]
+    )
+    scenario.apply(network.sim, paths)
+    network.sim.run(until=1.5)
+    assert all(link.is_down for link in paths[0].forward_links)
+    assert not any(link.is_down for link in paths[0].reverse_links)
+
+
+def test_injector_emits_fault_trace():
+    network, paths = build_network()
+    trace = TraceBus()
+    records = []
+    trace.subscribe("fault.apply", records.append)
+    scenario = FaultScenario("one", [FaultEvent(1.0, "down", 1)])
+    scenario.apply(network.sim, paths, trace=trace)
+    network.sim.run(until=2.0)
+    assert len(records) == 1
+    assert records[0]["fault"] == "down"
+    assert records[0]["path"] == 1
+
+
+def test_injector_rejects_too_few_paths():
+    network, paths = build_network()
+    scenario = FaultScenario("big", [FaultEvent(1.0, "down", 2)], n_paths=3)
+    with pytest.raises(ValueError):
+        scenario.apply(network.sim, paths)

@@ -112,6 +112,54 @@ def test_gilbert_elliott_produces_bursts():
     assert conditional > rate * 2
 
 
+def _state_run_lengths(model, rng, steps):
+    """Observe the chain for ``steps`` packets; return mean sojourn times
+    (in packets) of the GOOD and BAD states."""
+    runs = {GilbertElliottLoss.GOOD: [], GilbertElliottLoss.BAD: []}
+    current_state = model.state
+    current_length = 0
+    for __ in range(steps):
+        model.should_drop(0.0, rng)
+        if model.state == current_state:
+            current_length += 1
+        else:
+            if current_length:
+                runs[current_state].append(current_length)
+            current_state = model.state
+            current_length = 1
+    means = {}
+    for state, lengths in runs.items():
+        means[state] = sum(lengths) / len(lengths) if lengths else float("nan")
+    return means[GilbertElliottLoss.GOOD], means[GilbertElliottLoss.BAD]
+
+
+def test_gilbert_elliott_mean_sojourn_times_match_closed_form():
+    """Sojourn times are geometric: E[GOOD] = 1/p_gb, E[BAD] = 1/p_bg."""
+    p_gb, p_bg = 0.05, 0.25
+    model = GilbertElliottLoss(p_gb=p_gb, p_bg=p_bg, loss_bad=0.5)
+    good_mean, bad_mean = _state_run_lengths(model, random.Random(17), 200_000)
+    assert abs(good_mean - 1.0 / p_gb) / (1.0 / p_gb) < 0.05
+    assert abs(bad_mean - 1.0 / p_bg) / (1.0 / p_bg) < 0.05
+
+
+def test_gilbert_elliott_stationary_rate_across_parameterisations():
+    """Empirical loss rate tracks rate_at() over a parameter grid, not
+    just one lucky configuration."""
+    rng = random.Random(23)
+    for p_gb, p_bg, loss_bad in (
+        (0.01, 0.3, 0.8),
+        (0.1, 0.1, 0.5),
+        (0.2, 0.05, 0.3),
+    ):
+        model = GilbertElliottLoss(p_gb=p_gb, p_bg=p_bg, loss_bad=loss_bad)
+        trials = 100_000
+        drops = sum(model.should_drop(0.0, rng) for __ in range(trials))
+        expected = model.rate_at(0.0)
+        assert abs(drops / trials - expected) < 0.01, (
+            f"p_gb={p_gb} p_bg={p_bg}: {drops / trials:.4f} vs {expected:.4f}"
+        )
+
+
 def test_gilbert_elliott_validation():
     with pytest.raises(ValueError):
         GilbertElliottLoss(p_gb=1.5, p_bg=0.1)

@@ -17,8 +17,10 @@ class FakeSubflow:
     """Just enough of the Subflow surface for the sender's estimators."""
 
     def __init__(self, subflow_id, srtt=0.2, rto=0.4, loss=0.0, window_space=4,
-                 tau=0.0, in_flight=0, last_transmit_at=0.0, last_ack_at=None):
+                 tau=0.0, in_flight=0, last_transmit_at=0.0, last_ack_at=None,
+                 potentially_failed=False):
         self.subflow_id = subflow_id
+        self.potentially_failed = potentially_failed
         self.srtt = srtt
         self.rto_value = rto
         self.loss_rate_estimate = loss

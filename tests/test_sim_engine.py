@@ -146,6 +146,45 @@ def test_drain_cancelled_compacts_heap(sim):
     assert sim.events_processed == 5
 
 
+def test_drain_cancelled_on_empty_heap_is_a_noop(sim):
+    assert sim.drain_cancelled() == 0
+    assert sim.pending_events == 0
+
+
+def test_drain_cancelled_preserves_execution_order(sim):
+    """Compaction re-heapifies; surviving events must still fire in
+    (time, insertion-seq) order."""
+    seen = []
+    keep = []
+    for index in range(10):
+        event = sim.schedule(1.0, seen.append, index)  # all at the same time
+        if index % 2:
+            keep.append(index)
+        else:
+            event.cancel()
+    sim.schedule(0.5, seen.append, "early")
+    sim.drain_cancelled()
+    sim.run()
+    assert seen == ["early"] + keep
+
+
+def test_drain_cancelled_mid_run_from_a_callback(sim):
+    """Transports call drain_cancelled() while the simulation is running;
+    it must not disturb pending live events."""
+    fired = []
+    timers = [sim.schedule(5.0, fired.append, f"t{i}") for i in range(4)]
+
+    def restart_timers():
+        for timer in timers[:3]:
+            timer.cancel()
+        assert sim.drain_cancelled() == 3
+        sim.schedule(1.0, fired.append, "restarted")
+
+    sim.schedule(2.0, restart_timers)
+    sim.run()
+    assert fired == ["restarted", "t3"]
+
+
 def test_zero_delay_runs_at_current_time(sim):
     seen = []
     sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: seen.append(sim.now)))
