@@ -299,7 +299,13 @@ def cmd_faults(args: argparse.Namespace) -> None:
         f"{duration:.0f}s run, seed {args.seed}"
     )
     for protocol in protocols:
-        report = run_chaos(protocol, scenario, seed=args.seed, duration_s=duration)
+        report = run_chaos(
+            protocol,
+            scenario,
+            seed=args.seed,
+            duration_s=duration,
+            flight_dump_dir=args.flight_dir,
+        )
         status = "OK" if report.ok else "VIOLATIONS"
         completed = (
             f"completed at {report.completion_time_s:.1f}s"
@@ -312,6 +318,9 @@ def cmd_faults(args: argparse.Namespace) -> None:
         )
         for violation in report.violations:
             print(f"          ! {violation}")
+        if report.flight_dump_path is not None:
+            print(f"          flight recorder dump: {report.flight_dump_path}")
+            print(f"          profiler report:      {report.profile_dump_path}")
     if args.bench:
         print("Goodput response (open-ended transfer):")
         widths = [8, 10, 10, 10, 10, 10]
@@ -338,6 +347,86 @@ def cmd_faults(args: argparse.Namespace) -> None:
                     widths,
                 )
             )
+
+
+def cmd_trace_record(args: argparse.Namespace) -> None:
+    from repro.experiments.runner import run_transfer
+    from repro.telemetry import TelemetryConfig
+
+    case = next(c for c in TABLE1_CASES if c.case_id == args.case)
+    duration = args.duration or 30.0
+    config = TelemetryConfig(
+        sample_period_s=args.sample_period,
+        trace_path=args.output,
+        profile_sim=args.profile,
+    )
+    print(
+        f"Recording {args.protocol} on Table I case {case.case_id} "
+        f"({case.label()}), {duration:.0f}s, seed {args.seed} -> {args.output}"
+    )
+    result = run_transfer(
+        args.protocol,
+        table1_path_configs(case, args.bandwidth),
+        duration_s=duration,
+        seed=args.seed,
+        telemetry=config,
+    )
+    report = result.telemetry
+    print(f"  {report.trace_records_written} records written")
+    print(f"  goodput {result.summary['goodput_mbytes_per_s']:.3f} MB/s")
+    if args.profile and report.profile is not None:
+        profiler_report = report.profile
+        print(
+            f"  sim profile: {profiler_report['events']} events, "
+            f"{profiler_report['events_per_s']:.0f} events/s, "
+            f"sim/wall x{profiler_report['sim_wall_ratio']:.0f}"
+        )
+    print(f"Inspect with: python -m repro trace summarize {args.output}")
+
+
+def _load_trace(path: str) -> list:
+    from repro.sim.tracefile import read_trace_file
+
+    return read_trace_file(path)
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> None:
+    from repro.telemetry import summarize
+
+    for line in summarize(_load_trace(args.file)):
+        print(line)
+
+
+def cmd_trace_subflows(args: argparse.Namespace) -> None:
+    from repro.telemetry import subflow_report
+
+    for line in subflow_report(_load_trace(args.file)):
+        print(line)
+
+
+def cmd_trace_timeline(args: argparse.Namespace) -> None:
+    from repro.telemetry import timeline
+
+    for line in timeline(
+        _load_trace(args.file),
+        kinds=args.kind or None,
+        start=args.start,
+        end=args.end,
+        limit=args.limit,
+    ):
+        print(line)
+
+
+def cmd_trace_export_csv(args: argparse.Namespace) -> None:
+    from repro.telemetry import export_csv
+
+    text = export_csv(_load_trace(args.file), kind=args.kind)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
 
 
 def cmd_all(args: argparse.Namespace) -> None:
@@ -401,7 +490,55 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--bench", action="store_true", help="also measure retention/recovery"
     )
+    faults.add_argument(
+        "--flight-dir",
+        type=str,
+        default=None,
+        help="dump flight-recorder + profiler post-mortems here on violations",
+    )
     faults.set_defaults(fn=cmd_faults)
+    trace = sub.add_parser("trace", help="record and analyse JSONL telemetry traces")
+    trace.set_defaults(fn=lambda args: trace.print_help())
+    trace_sub = trace.add_subparsers(dest="trace_command")
+    record = trace_sub.add_parser(
+        "record", help="run one Table I transfer with telemetry -> JSONL"
+    )
+    record.add_argument("--case", type=int, default=4, help="Table I case id")
+    record.add_argument(
+        "--protocol",
+        choices=("fmtcp", "mptcp", "tcp", "fixedrate"),
+        default="fmtcp",
+    )
+    record.add_argument("--output", type=str, default="trace.jsonl")
+    record.add_argument(
+        "--sample-period", type=float, default=0.1, help="sampler period (s)"
+    )
+    record.add_argument(
+        "--profile", action="store_true", help="also profile the sim engine"
+    )
+    record.set_defaults(fn=cmd_trace_record)
+    summarize_p = trace_sub.add_parser("summarize", help="totals, kinds, goodput")
+    summarize_p.add_argument("file")
+    summarize_p.set_defaults(fn=cmd_trace_summarize)
+    subflows_p = trace_sub.add_parser(
+        "subflows", help="per-subflow cwnd/srtt/eat series"
+    )
+    subflows_p.add_argument("file")
+    subflows_p.set_defaults(fn=cmd_trace_subflows)
+    timeline_p = trace_sub.add_parser("timeline", help="chronological event listing")
+    timeline_p.add_argument("file")
+    timeline_p.add_argument(
+        "--kind", action="append", help="only these kinds (repeatable)"
+    )
+    timeline_p.add_argument("--start", type=float, default=None, help="window start (s)")
+    timeline_p.add_argument("--end", type=float, default=None, help="window end (s)")
+    timeline_p.add_argument("--limit", type=int, default=40, help="show last N records")
+    timeline_p.set_defaults(fn=cmd_trace_timeline)
+    export_p = trace_sub.add_parser("export-csv", help="flatten records to CSV")
+    export_p.add_argument("file")
+    export_p.add_argument("--kind", type=str, default=None, help="only this kind")
+    export_p.add_argument("--output", type=str, default=None, help="write here (default stdout)")
+    export_p.set_defaults(fn=cmd_trace_export_csv)
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--surge", type=float, default=0.25)
     everything.set_defaults(fn=cmd_all)

@@ -10,7 +10,7 @@ the exact rank-evolution model (DESIGN.md §3.2).
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.config import FmtcpConfig
 from repro.core.packets import FmtcpFeedback, FmtcpSegmentPayload
@@ -34,6 +34,7 @@ class LtDecoderAdapter:
 
     def __init__(self, k: int, part_size: int, data_length: int):
         self._inner = LtDecoder(k=k, part_size=part_size, data_length=data_length)
+        self.k = k
         self.symbols_received = 0
 
     @property
@@ -160,11 +161,19 @@ class FmtcpReceiver:
         if isinstance(active.decoder, (BlockDecoder, LtDecoderAdapter)):
             data = active.decoder.decode()
         if self.trace is not None and self.trace.has_subscribers("fmtcp.block_decoded"):
+            decoder = active.decoder
+            received = getattr(decoder, "symbols_received", None)
+            k = getattr(decoder, "k", None)
             self.trace.emit(
                 self.sim.now,
                 "fmtcp.block_decoded",
                 block_id=block_id,
                 wait=self.sim.now - active.first_symbol_at,
+                k=k,
+                received=received,
+                overhead=(
+                    received - k if received is not None and k is not None else None
+                ),
             )
         self._decoded_waiting[block_id] = (active.block_bytes, data)
         while self._decode_frontier in self._decoded_waiting or (
@@ -215,6 +224,33 @@ class FmtcpReceiver:
     # ------------------------------------------------------------------
     # Introspection.
     # ------------------------------------------------------------------
+    def decoder_stats(self) -> List[Dict[str, float]]:
+        """Per-active-block decoder progress for the telemetry sampler.
+
+        One entry per undecoded block holding symbols: rank (k̄), rank
+        deficit (k − k̄), symbols received, overhead beyond rank, and the
+        block's age since its first symbol arrived.
+        """
+        stats = []
+        for block_id in sorted(self._active):
+            active = self._active[block_id]
+            decoder = active.decoder
+            k = int(getattr(decoder, "k", 0))
+            rank = int(decoder.independent_symbols)
+            received = int(getattr(decoder, "symbols_received", 0))
+            stats.append(
+                {
+                    "block_id": block_id,
+                    "k": k,
+                    "rank": rank,
+                    "deficit": max(0, k - rank),
+                    "received": received,
+                    "overhead": max(0, received - rank),
+                    "age_s": self.sim.now - active.first_symbol_at,
+                }
+            )
+        return stats
+
     @property
     def buffered_blocks(self) -> int:
         """Blocks currently occupying the receive buffer."""

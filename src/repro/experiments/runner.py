@@ -21,6 +21,7 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.trace import TraceBus
 from repro.tcp.stream import TcpConfig, TcpConnection
+from repro.telemetry.session import TelemetryConfig, TelemetryReport, TelemetrySession
 from repro.workloads.sources import BulkSource
 
 PROTOCOLS = ("fmtcp", "mptcp", "tcp", "fixedrate")
@@ -39,6 +40,7 @@ class ExperimentResult:
     block_delays: List[float] = field(default_factory=list)
     subflow_stats: List[Dict[str, float]] = field(default_factory=list)
     extras: Dict[str, Any] = field(default_factory=dict)
+    telemetry: Optional[TelemetryReport] = None
 
     @property
     def goodput_mbytes(self) -> float:
@@ -83,8 +85,16 @@ def run_transfer(
     source=None,
     bin_width_s: float = 1.0,
     collect_series: bool = False,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> ExperimentResult:
-    """Simulate one transfer and return its measurements."""
+    """Simulate one transfer and return its measurements.
+
+    Passing a :class:`~repro.telemetry.session.TelemetryConfig` attaches
+    the full telemetry stack (periodic samplers, optional JSONL trace
+    file, sim profiler) for the duration of the run; the resulting
+    :class:`~repro.telemetry.session.TelemetryReport` lands on
+    ``result.telemetry``. Without it nothing is instrumented.
+    """
     if protocol not in PROTOCOLS:
         raise ValueError(f"protocol must be one of {PROTOCOLS}, got {protocol!r}")
     sim = Simulator()
@@ -94,6 +104,7 @@ def run_transfer(
         list(path_configs), sim=sim, rng=rng, trace=trace
     )
     metrics = MetricsSuite(trace, bin_width_s=bin_width_s)
+    session = TelemetrySession(sim, trace, config=telemetry) if telemetry else None
     if source is None:
         source = BulkSource()
 
@@ -154,6 +165,8 @@ def run_transfer(
 
     if hasattr(source, "attach"):
         source.attach(connection)
+    if session is not None:
+        session.attach(connection)
     connection.start()
     sim.run(until=duration_s)
 
@@ -201,6 +214,8 @@ def run_transfer(
             "reorder_high_watermark": connection.reorder_buffer.high_watermark,
         }
     connection.close()
+    if session is not None:
+        result.telemetry = session.finish()
     return result
 
 

@@ -24,6 +24,8 @@ Two entry points:
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -36,6 +38,8 @@ from repro.mptcp.connection import MptcpConfig, MptcpConnection
 from repro.net.topology import PathConfig, build_two_path_network
 from repro.sim.rng import RngStreams
 from repro.sim.trace import TraceBus
+from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.profiler import SimProfiler
 from repro.workloads.sources import BulkSource
 
 PROTOCOLS = ("fmtcp", "mptcp")
@@ -56,6 +60,8 @@ class ChaosReport:
     completed: bool = False
     completion_time_s: Optional[float] = None
     violations: List[str] = field(default_factory=list)
+    flight_dump_path: Optional[str] = None
+    profile_dump_path: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -94,6 +100,8 @@ def run_chaos(
     delay_s: float = 0.03,
     base_loss: float = 0.0,
     total_bytes: int = 2_000_000,
+    flight_dump_dir: Optional[str] = None,
+    flight_capacity: int = 4096,
 ) -> ChaosReport:
     """Run one finite transfer through ``scenario`` and check invariants.
 
@@ -101,6 +109,11 @@ def run_chaos(
     needs ~13 s clean, so it is still mid-flight throughout the preset
     fault window ([8, 18) s) and must *survive* the faults — yet finishes
     with ample slack before ``duration_s`` once the network heals.
+
+    With ``flight_dump_dir`` set, a flight recorder (and the sim
+    profiler) rides along and — only if an invariant is violated — the
+    last ``flight_capacity`` trace records plus a profiler report are
+    written there for post-mortem analysis with ``repro trace``.
     """
     trace = TraceBus()
     configs = [
@@ -109,6 +122,13 @@ def run_chaos(
     ]
     network, paths = build_two_path_network(configs, rng=RngStreams(seed), trace=trace)
     sim = network.sim
+
+    flight: Optional[FlightRecorder] = None
+    profiler: Optional[SimProfiler] = None
+    if flight_dump_dir is not None:
+        flight = FlightRecorder(trace, capacity=flight_capacity)
+        profiler = SimProfiler()
+        sim.set_profiler(profiler)
 
     delivered_ids: List[int] = []
     if protocol == "fmtcp":
@@ -195,6 +215,30 @@ def run_chaos(
             f"event queue did not drain: {sim.pending_events} live events "
             "after completion and close"
         )
+
+    if flight is not None:
+        if report.violations:
+            os.makedirs(flight_dump_dir, exist_ok=True)
+            slug = scenario.name.replace(":", "-").replace("/", "-")
+            stem = f"flight_{protocol}_{slug}_seed{seed}"
+            dump_path = os.path.join(flight_dump_dir, stem + ".jsonl")
+            flight.dump(
+                dump_path,
+                meta={
+                    "protocol": protocol,
+                    "scenario": scenario.name,
+                    "seed": seed,
+                    "violations": report.violations,
+                },
+            )
+            report.flight_dump_path = dump_path
+            if profiler is not None:
+                profile_path = os.path.join(flight_dump_dir, stem + ".profile.json")
+                with open(profile_path, "w") as handle:
+                    json.dump(profiler.report(), handle, indent=2)
+                report.profile_dump_path = profile_path
+        flight.close()
+        sim.set_profiler(None)
     return report
 
 

@@ -5,14 +5,18 @@ occupancy, link utilisation — at a fixed period, producing the
 time-series a network operator would plot. Used by tests to verify
 queueing behaviour (bufferbloat under Reno, RED keeping queues short) and
 available for diagnostics in experiments.
+
+Monitors cancel their pending sample event on ``stop()``, so an attached
+monitor never keeps the event heap alive after the run is torn down (the
+chaos-soak harness asserts ``pending_events == 0`` after close).
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.net.link import Link
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 
 
 class QueueMonitor:
@@ -26,21 +30,26 @@ class QueueMonitor:
         self.period_s = period_s
         self.samples: List[Tuple[float, int]] = []
         self._running = False
+        self._pending: Optional[Event] = None
 
     def start(self) -> None:
         if self._running:
             return
         self._running = True
-        self.sim.schedule(self.period_s, self._sample)
+        self._pending = self.sim.schedule(self.period_s, self._sample)
 
     def stop(self) -> None:
         self._running = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
 
     def _sample(self) -> None:
+        self._pending = None
         if not self._running:
             return
         self.samples.append((self.sim.now, len(self.link.queue)))
-        self.sim.schedule(self.period_s, self._sample)
+        self._pending = self.sim.schedule(self.period_s, self._sample)
 
     def mean_depth(self) -> float:
         if not self.samples:
@@ -69,25 +78,30 @@ class UtilisationMonitor:
         self.samples: List[Tuple[float, float]] = []
         self._last_bytes = 0
         self._running = False
+        self._pending: Optional[Event] = None
 
     def start(self) -> None:
         if self._running:
             return
         self._running = True
         self._last_bytes = self.link.bytes_delivered
-        self.sim.schedule(self.period_s, self._sample)
+        self._pending = self.sim.schedule(self.period_s, self._sample)
 
     def stop(self) -> None:
         self._running = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
 
     def _sample(self) -> None:
+        self._pending = None
         if not self._running:
             return
         delivered = self.link.bytes_delivered - self._last_bytes
         self._last_bytes = self.link.bytes_delivered
         utilisation = delivered * 8.0 / self.period_s / self.link.bandwidth_bps
         self.samples.append((self.sim.now, utilisation))
-        self.sim.schedule(self.period_s, self._sample)
+        self._pending = self.sim.schedule(self.period_s, self._sample)
 
     def mean_utilisation(self) -> float:
         if not self.samples:

@@ -9,6 +9,7 @@ increasing insertion sequence number rather than by object identity.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, List, Optional
 
 
@@ -64,6 +65,7 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._processed = 0
+        self._profiler = None
 
     @property
     def now(self) -> float:
@@ -79,6 +81,27 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events still queued (including cancelled ones)."""
         return len(self._heap)
+
+    @property
+    def profiler(self):
+        """The attached :class:`~repro.telemetry.profiler.SimProfiler`, if any."""
+        return self._profiler
+
+    def set_profiler(self, profiler) -> None:
+        """Attach (or with ``None`` detach) a profiler observing the run loop.
+
+        The profiled branch only observes wall time — simulated behaviour
+        is unchanged — and the unprofiled branch costs one ``is None``
+        test per event.
+        """
+        self._profiler = profiler
+
+    def enable_profiling(self):
+        """Attach a fresh :class:`~repro.telemetry.profiler.SimProfiler`."""
+        from repro.telemetry.profiler import SimProfiler
+
+        self._profiler = SimProfiler()
+        return self._profiler
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
@@ -117,6 +140,8 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        profiling_run = self._profiler is not None
+        run_started_wall = time.perf_counter() if profiling_run else 0.0
         try:
             while self._heap and not self._stopped:
                 event = self._heap[0]
@@ -127,13 +152,29 @@ class Simulator:
                     break
                 heapq.heappop(self._heap)
                 self._now = event.time
-                event.fn(*event.args)
+                profiler = self._profiler
+                if profiler is None:
+                    event.fn(*event.args)
+                else:
+                    heap_depth = len(self._heap)
+                    started = time.perf_counter()
+                    event.fn(*event.args)
+                    profiler.on_event(
+                        event.fn,
+                        time.perf_counter() - started,
+                        heap_depth,
+                        event.time,
+                    )
                 self._processed += 1
                 executed += 1
                 if max_events is not None and executed >= max_events:
                     break
         finally:
             self._running = False
+            if profiling_run and self._profiler is not None:
+                self._profiler.on_run_complete(
+                    time.perf_counter() - run_started_wall
+                )
         if until is not None and self._now < until and not self._stopped:
             self._now = until
 

@@ -51,16 +51,23 @@ class TraceBus:
             pool.remove(fn)
 
     def emit(self, time: float, kind: str, **fields: Any) -> None:
-        """Publish a record; cheap (no allocation) when nobody listens."""
+        """Publish a record; cheap (no allocation) when nobody listens.
+
+        Dispatch iterates over a snapshot of each subscriber list, so a
+        callback may ``subscribe``/``unsubscribe`` (itself included)
+        without corrupting the loop; subscriptions added mid-emit first
+        see the *next* record.
+        """
         targeted = self._subscribers.get(kind)
         if not targeted and not self._wildcard:
             return
         record = TraceRecord(time=time, kind=kind, fields=fields)
         if targeted:
-            for fn in targeted:
+            for fn in tuple(targeted):
                 fn(record)
-        for fn in self._wildcard:
-            fn(record)
+        if self._wildcard:
+            for fn in tuple(self._wildcard):
+                fn(record)
 
     def has_subscribers(self, kind: str) -> bool:
         """True if emitting ``kind`` would reach anyone (lets hot paths skip work)."""

@@ -25,21 +25,34 @@ def _jsonable(value):
 
 
 class TraceFileWriter:
-    """Streams trace records to a JSONL file (or any text stream)."""
+    """Streams trace records to a JSONL file (or any text stream).
+
+    Context-manager friendly: ``with TraceFileWriter(trace, path):``
+    guarantees detach-and-close even if the run raises. Each record is
+    written as one complete line in a single ``write`` call and
+    ``flush_every`` records force an OS-level flush (default 256), so a
+    crashed run leaves behind only whole, parseable JSONL lines up to the
+    last flush; :func:`read_trace_file` skips a torn trailing line.
+    """
 
     def __init__(
         self,
         trace: TraceBus,
         target: Union[str, IO[str]],
         kinds: Optional[Iterable[str]] = None,
+        flush_every: Optional[int] = 256,
     ):
+        if flush_every is not None and flush_every < 1:
+            raise ValueError("flush_every must be >= 1 or None")
         self._owns_handle = isinstance(target, str)
         self._handle: IO[str] = (
             open(target, "w") if isinstance(target, str) else target
         )
         self._trace = trace
         self._kinds: List[str] = list(kinds) if kinds is not None else ["*"]
+        self._flush_every = flush_every
         self.records_written = 0
+        self.closed = False
         for kind in self._kinds:
             trace.subscribe(kind, self._on_record)
 
@@ -49,9 +62,25 @@ class TraceFileWriter:
             entry[key] = _jsonable(value)
         self._handle.write(json.dumps(entry) + "\n")
         self.records_written += 1
+        if self._flush_every is not None and (
+            self.records_written % self._flush_every == 0
+        ):
+            self._handle.flush()
+
+    def flush(self) -> None:
+        """Push buffered lines to the OS without detaching from the bus."""
+        if not self.closed:
+            self._handle.flush()
 
     def close(self) -> None:
-        """Detach from the bus and close the file (if we opened it)."""
+        """Detach from the bus and close the file (if we opened it).
+
+        Idempotent: a second ``close`` (e.g. explicit call inside a
+        ``with`` block) is a no-op.
+        """
+        if self.closed:
+            return
+        self.closed = True
         for kind in self._kinds:
             self._trace.unsubscribe(kind, self._on_record)
         self._handle.flush()
@@ -65,12 +94,27 @@ class TraceFileWriter:
         self.close()
 
 
-def read_trace_file(path: str) -> List[dict]:
-    """Load a JSONL trace back into a list of dicts."""
-    records = []
+def read_trace_file(path: str, strict: bool = False) -> List[dict]:
+    """Load a JSONL trace back into a list of dicts.
+
+    A process that crashed mid-write can leave a torn final line (the OS
+    flushed a partial buffer). By default that trailing fragment is
+    dropped and everything before it is returned; corruption anywhere
+    *except* the last non-empty line still raises, as does any corruption
+    when ``strict=True``.
+    """
     with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+        lines = [line.strip() for line in handle]
+    while lines and not lines[-1]:
+        lines.pop()
+    records = []
+    for index, line in enumerate(lines):
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if strict or index != len(lines) - 1:
+                raise
+            # Torn trailing line from an interrupted writer; drop it.
     return records

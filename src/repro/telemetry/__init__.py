@@ -1,0 +1,62 @@
+"""Unified telemetry: metrics, samplers, flight recorder, sim profiler.
+
+Everything here is opt-in and zero-cost when unused — instrumentation
+call sites in the transports stay behind ``TraceBus.has_subscribers``
+guards, samplers only exist once attached, and the engine profiler costs
+a single ``is None`` test per event when disabled. See
+``docs/observability.md`` for the architecture and the trace-kind
+vocabulary.
+"""
+
+from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.profiler import SimProfiler, callback_label
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    P2Quantile,
+    StreamingHistogram,
+)
+from repro.telemetry.samplers import (
+    ConnectionSampler,
+    DecoderSampler,
+    PeriodicSampler,
+    SubflowSampler,
+    attach_samplers,
+    fmtcp_eat_provider,
+)
+from repro.telemetry.session import TelemetryConfig, TelemetryReport, TelemetrySession
+from repro.telemetry.traceview import (
+    export_csv,
+    kind_counts,
+    subflow_report,
+    summarize,
+    time_span,
+    timeline,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "P2Quantile",
+    "StreamingHistogram",
+    "FlightRecorder",
+    "SimProfiler",
+    "callback_label",
+    "PeriodicSampler",
+    "SubflowSampler",
+    "DecoderSampler",
+    "ConnectionSampler",
+    "attach_samplers",
+    "fmtcp_eat_provider",
+    "TelemetryConfig",
+    "TelemetryReport",
+    "TelemetrySession",
+    "summarize",
+    "subflow_report",
+    "timeline",
+    "export_csv",
+    "kind_counts",
+    "time_span",
+]

@@ -1,0 +1,287 @@
+"""Named counters, gauges and streaming histograms.
+
+The registry is the aggregation half of the telemetry layer: samplers and
+collectors fold observations into it as the simulation runs, and a single
+``snapshot()`` at the end yields every metric without any component
+knowing about any other. Histograms use the P² streaming-quantile
+algorithm (Jain & Chlamtac, CACM 1985), so p50/p95/p99 come out of five
+markers per quantile rather than a stored sample list — constant memory
+no matter how many observations arrive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A value that can move both ways; remembers its extremes."""
+
+    __slots__ = ("name", "value", "min_seen", "max_seen", "updates")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+        self.min_seen: Optional[float] = None
+        self.max_seen: Optional[float] = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updates += 1
+        if self.min_seen is None or value < self.min_seen:
+            self.min_seen = value
+        if self.max_seen is None or value > self.max_seen:
+            self.max_seen = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class P2Quantile:
+    """One streaming quantile via the P² algorithm (five markers).
+
+    Markers track the running minimum, two intermediate points, the
+    quantile estimate itself, and the running maximum; each observation
+    nudges marker heights with a piecewise-parabolic update. Accuracy is
+    within a few percent of the exact order statistic for unimodal data —
+    ample for latency percentiles — at O(1) memory and time.
+    """
+
+    __slots__ = ("q", "_heights", "_positions", "_desired", "_increments", "count")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        self.count = 0
+
+    def observe(self, x: float) -> None:
+        self.count += 1
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(x)
+            heights.sort()
+            return
+        # Locate the cell containing x, extending the extremes if needed.
+        if x < heights[0]:
+            heights[0] = x
+            cell = 0
+        elif x >= heights[4]:
+            heights[4] = x
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and x >= heights[cell + 1]:
+                cell += 1
+        positions = self._positions
+        for index in range(cell + 1, 5):
+            positions[index] += 1.0
+        desired = self._desired
+        for index in range(5):
+            desired[index] += self._increments[index]
+        # Adjust the three interior markers toward their desired positions.
+        for index in range(1, 4):
+            drift = desired[index] - positions[index]
+            right_gap = positions[index + 1] - positions[index]
+            left_gap = positions[index - 1] - positions[index]
+            if (drift >= 1.0 and right_gap > 1.0) or (drift <= -1.0 and left_gap < -1.0):
+                step = 1.0 if drift >= 1.0 else -1.0
+                candidate = self._parabolic(index, step)
+                if not heights[index - 1] < candidate < heights[index + 1]:
+                    candidate = self._linear(index, step)
+                heights[index] = candidate
+                positions[index] += step
+
+    def _parabolic(self, index: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[index] + step / (n[index + 1] - n[index - 1]) * (
+            (n[index] - n[index - 1] + step)
+            * (h[index + 1] - h[index])
+            / (n[index + 1] - n[index])
+            + (n[index + 1] - n[index] - step)
+            * (h[index] - h[index - 1])
+            / (n[index] - n[index - 1])
+        )
+
+    def _linear(self, index: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        other = index + int(step)
+        return h[index] + step * (h[other] - h[index]) / (n[other] - n[index])
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current quantile estimate (exact while fewer than 5 samples)."""
+        if not self._heights:
+            return None
+        if len(self._heights) < 5 or self.count <= 5:
+            ordered = sorted(self._heights[: self.count])
+            rank = (len(ordered) - 1) * self.q
+            low = int(rank)
+            high = min(low + 1, len(ordered) - 1)
+            fraction = rank - low
+            return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+        return self._heights[2]
+
+
+class StreamingHistogram:
+    """Count/min/max/mean plus P² percentile estimates, all streaming."""
+
+    __slots__ = ("name", "count", "total", "min_seen", "max_seen", "_quantiles")
+
+    def __init__(self, name: str, quantiles: Iterable[float] = (0.5, 0.95, 0.99)):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min_seen: Optional[float] = None
+        self.max_seen: Optional[float] = None
+        self._quantiles: Dict[float, P2Quantile] = {
+            q: P2Quantile(q) for q in quantiles
+        }
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min_seen is None or value < self.min_seen:
+            self.min_seen = value
+        if self.max_seen is None or value > self.max_seen:
+            self.max_seen = value
+        for estimator in self._quantiles.values():
+            estimator.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimate for a quantile registered at construction (q in (0,1))."""
+        estimator = self._quantiles.get(q)
+        if estimator is None:
+            raise KeyError(f"histogram {self.name} does not track q={q}")
+        return estimator.value
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        entry: Dict[str, Optional[float]] = {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.min_seen,
+            "max": self.max_seen,
+        }
+        for q, estimator in sorted(self._quantiles.items()):
+            entry[f"p{q * 100:g}"] = estimator.value
+        return entry
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StreamingHistogram {self.name} n={self.count}>"
+
+
+Metric = Union[Counter, Gauge, StreamingHistogram]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics.
+
+    Names are free-form dotted strings (``subflow0.cwnd``,
+    ``decoder.decode_latency_s``). Asking for an existing name with a
+    different metric type is an error — it means two components disagree
+    about what the name measures.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, factory, kind: type) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name), Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name), Gauge)
+
+    def histogram(
+        self, name: str, quantiles: Tuple[float, ...] = (0.5, 0.95, 0.99)
+    ) -> StreamingHistogram:
+        return self._get_or_create(
+            name, lambda: StreamingHistogram(name, quantiles), StreamingHistogram
+        )
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat name → value (counters/gauges) or dict (histograms)."""
+        out: Dict[str, object] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out[name] = metric.value
+            elif isinstance(metric, Gauge):
+                out[name] = metric.value
+            else:
+                out[name] = metric.snapshot()
+        return out
+
+    def render(self) -> List[str]:
+        """Human-readable one-line-per-metric report."""
+        lines = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                lines.append(f"{name}: {metric.value}")
+            elif isinstance(metric, Gauge):
+                if metric.value is None:
+                    lines.append(f"{name}: (never set)")
+                else:
+                    lines.append(
+                        f"{name}: {metric.value:g} "
+                        f"(min {metric.min_seen:g}, max {metric.max_seen:g})"
+                    )
+            else:
+                snap = metric.snapshot()
+                percentiles = ", ".join(
+                    f"{key}={value:.4g}"
+                    for key, value in snap.items()
+                    if key.startswith("p") and value is not None
+                )
+                lines.append(
+                    f"{name}: n={metric.count} mean={metric.mean:.4g} {percentiles}"
+                )
+        return lines
+
+    def __len__(self) -> int:
+        return len(self._metrics)

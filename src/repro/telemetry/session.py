@@ -1,0 +1,155 @@
+"""One-call wiring of the full telemetry stack onto a simulation run.
+
+:class:`TelemetryConfig` is the single knob surface (sampling period,
+JSONL trace output, sim profiling, flight recording); a
+:class:`TelemetrySession` applies it to a ``(sim, trace)`` pair, attaches
+samplers to any transport connection, and gathers everything into one
+:class:`TelemetryReport` at the end. Used by
+``repro.experiments.runner.run_transfer(..., telemetry=...)`` and the
+``repro trace record`` CLI.
+
+With no session attached nothing changes anywhere: every instrumentation
+call site is behind ``TraceBus.has_subscribers`` or a periodic sampler
+that simply does not exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceBus
+from repro.sim.tracefile import TraceFileWriter
+from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.profiler import SimProfiler
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.samplers import PeriodicSampler, attach_samplers
+
+
+@dataclass
+class TelemetryConfig:
+    """What to observe during a run.
+
+    ``trace_path`` streams records to JSONL via
+    :class:`~repro.sim.tracefile.TraceFileWriter` (``trace_kinds`` limits
+    which; ``None`` means everything). ``profile_sim`` attaches the
+    engine profiler. ``flight_capacity`` > 0 keeps a flight-recorder ring
+    available for dumping on failures.
+    """
+
+    sample_period_s: float = 0.1
+    trace_path: Optional[str] = None
+    trace_kinds: Optional[Tuple[str, ...]] = None
+    profile_sim: bool = False
+    flight_capacity: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sample_period_s <= 0:
+            raise ValueError("sample_period_s must be positive")
+        if self.flight_capacity < 0:
+            raise ValueError("flight_capacity must be >= 0")
+
+
+@dataclass
+class TelemetryReport:
+    """Everything a finished session measured."""
+
+    metrics: Dict[str, object] = field(default_factory=dict)
+    profile: Optional[Dict[str, object]] = None
+    trace_path: Optional[str] = None
+    trace_records_written: int = 0
+    flight_records: int = 0
+
+    def render(self) -> List[str]:
+        lines = []
+        if self.trace_path is not None:
+            lines.append(
+                f"trace: {self.trace_records_written} records -> {self.trace_path}"
+            )
+        for name, value in sorted(self.metrics.items()):
+            if isinstance(value, dict):
+                detail = ", ".join(
+                    f"{key}={val:.4g}"
+                    for key, val in value.items()
+                    if isinstance(val, (int, float))
+                )
+                lines.append(f"{name}: {detail}")
+            else:
+                lines.append(f"{name}: {value}")
+        return lines
+
+
+class TelemetrySession:
+    """Applies a :class:`TelemetryConfig` to one simulation run."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trace: TraceBus,
+        config: Optional[TelemetryConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.sim = sim
+        self.trace = trace
+        self.config = config or TelemetryConfig()
+        self.registry = registry or MetricsRegistry()
+        self.samplers: List[PeriodicSampler] = []
+        self.writer: Optional[TraceFileWriter] = None
+        self.profiler: Optional[SimProfiler] = None
+        self.flight: Optional[FlightRecorder] = None
+        self._finished = False
+
+        if self.config.trace_path is not None:
+            self.writer = TraceFileWriter(
+                trace, self.config.trace_path, kinds=self.config.trace_kinds
+            )
+        if self.config.profile_sim:
+            self.profiler = SimProfiler()
+            sim.set_profiler(self.profiler)
+        if self.config.flight_capacity > 0:
+            self.flight = FlightRecorder(trace, capacity=self.config.flight_capacity)
+
+    def attach(self, connection) -> None:
+        """Start samplers for one transport connection (callable per flow)."""
+        self.samplers.extend(
+            attach_samplers(
+                self.sim,
+                connection,
+                self.trace,
+                period_s=self.config.sample_period_s,
+                registry=self.registry,
+            )
+        )
+
+    def finish(self) -> TelemetryReport:
+        """Stop samplers, close the writer, detach the profiler; report.
+
+        Idempotent — a second call returns a fresh report over the same
+        (now frozen) state without double-detaching anything.
+        """
+        if not self._finished:
+            self._finished = True
+            for sampler in self.samplers:
+                sampler.stop()
+            if self.writer is not None:
+                self.writer.close()
+            if self.profiler is not None and self.sim.profiler is self.profiler:
+                self.sim.set_profiler(None)
+            if self.flight is not None:
+                self.flight.close()
+        return TelemetryReport(
+            metrics=self.registry.snapshot(),
+            profile=self.profiler.report() if self.profiler is not None else None,
+            trace_path=self.config.trace_path,
+            trace_records_written=(
+                self.writer.records_written if self.writer is not None else 0
+            ),
+            flight_records=len(self.flight) if self.flight is not None else 0,
+        )
+
+    def __enter__(self) -> "TelemetrySession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.finish()

@@ -10,13 +10,20 @@ Every run must satisfy the four robustness invariants checked by
 
 The random scenarios are seeded and fully deterministic, so a failure
 here reproduces exactly from the seed named in the assertion message.
+
+Set ``REPRO_FLIGHT_DIR`` to a directory to get a flight-recorder dump
+(last trace records before the violation) plus a sim-profiler report for
+every failing run — CI does this and uploads them as artifacts.
 """
+
+import os
 
 import pytest
 
 from repro.faults import SCENARIOS, FaultEvent, FaultScenario, run_chaos
 
 CHAOS_SEEDS = range(1, 31)
+FLIGHT_DIR = os.environ.get("REPRO_FLIGHT_DIR") or None
 
 
 @pytest.mark.parametrize("protocol", ["fmtcp", "mptcp"])
@@ -25,16 +32,21 @@ def test_chaos_soak_randomized_scenarios(protocol):
     failures = []
     for seed in CHAOS_SEEDS:
         scenario = FaultScenario.random(seed)
-        report = run_chaos(protocol, scenario, seed=seed)
+        report = run_chaos(protocol, scenario, seed=seed, flight_dump_dir=FLIGHT_DIR)
         if not report.ok:
-            failures.append(f"seed {seed}: {report.violations}")
+            detail = f"seed {seed}: {report.violations}"
+            if report.flight_dump_path:
+                detail += f" [flight dump: {report.flight_dump_path}]"
+            failures.append(detail)
     assert not failures, f"{protocol} chaos violations:\n" + "\n".join(failures)
 
 
 @pytest.mark.parametrize("protocol", ["fmtcp", "mptcp"])
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
 def test_chaos_preset_scenarios(protocol, name):
-    report = run_chaos(protocol, FaultScenario.named(name))
+    report = run_chaos(
+        protocol, FaultScenario.named(name), flight_dump_dir=FLIGHT_DIR
+    )
     assert report.ok, f"{name}/{protocol}: {report.violations}"
     assert report.completed
     # The fault window bit: the transfer was still running when the

@@ -1,0 +1,109 @@
+"""Flight recorder: bounded ring semantics, dump format, and the chaos
+harness writing post-mortems on invariant violations."""
+
+import json
+
+from repro.faults import FaultScenario, resolve_scenario, run_chaos
+from repro.sim.tracefile import read_trace_file
+from repro.telemetry import FlightRecorder
+
+
+def test_ring_keeps_only_last_capacity_records(trace):
+    flight = FlightRecorder(trace, capacity=10)
+    for index in range(25):
+        trace.emit(float(index), "k", seq=index)
+    assert len(flight) == 10
+    assert flight.records_seen == 25
+    assert flight.dropped == 15
+    assert [record["seq"] for record in flight.records()] == list(range(15, 25))
+
+
+def test_kind_filter(trace):
+    flight = FlightRecorder(trace, capacity=8, kinds=["wanted"])
+    trace.emit(0.0, "wanted")
+    trace.emit(1.0, "ignored")
+    assert [record.kind for record in flight.records()] == ["wanted"]
+
+
+def test_clear_resets_ring_but_not_counter(trace):
+    flight = FlightRecorder(trace, capacity=4)
+    trace.emit(0.0, "k")
+    flight.clear()
+    assert len(flight) == 0
+    assert flight.records_seen == 1
+
+
+def test_close_detaches_and_is_idempotent(trace):
+    flight = FlightRecorder(trace, capacity=4)
+    trace.emit(0.0, "k")
+    flight.close()
+    flight.close()
+    trace.emit(1.0, "k")
+    assert len(flight) == 1  # nothing captured after close
+
+
+def test_dump_format_reads_back_with_trace_reader(trace, tmp_path):
+    flight = FlightRecorder(trace, capacity=4)
+    for index in range(6):
+        trace.emit(float(index), "k", seq=index, nested={"a": (1, 2)})
+    path = tmp_path / "dump.jsonl"
+    flight.dump(str(path), meta={"scenario": "test"})
+    records = read_trace_file(str(path))
+    header, body = records[0], records[1:]
+    assert header["kind"] == "flight.meta"
+    assert header["capacity"] == 4
+    assert header["records_seen"] == 6
+    assert header["records_retained"] == 4
+    assert header["dropped"] == 2
+    assert header["scenario"] == "test"
+    assert [record["seq"] for record in body] == [2, 3, 4, 5]
+    assert body[0]["nested"] == {"a": [1, 2]}  # _jsonable applied
+
+
+def test_chaos_violation_writes_flight_dump_and_profile(tmp_path):
+    # A run cut off mid-transfer cannot complete: guaranteed violation.
+    report = run_chaos(
+        "fmtcp",
+        resolve_scenario("path_death"),
+        seed=3,
+        duration_s=6.0,
+        flight_dump_dir=str(tmp_path),
+        flight_capacity=128,
+    )
+    assert not report.ok
+    assert report.flight_dump_path is not None
+    records = read_trace_file(report.flight_dump_path)
+    header = records[0]
+    assert header["kind"] == "flight.meta"
+    assert header["protocol"] == "fmtcp"
+    assert header["seed"] == 3
+    assert header["violations"]
+    assert len(records) == header["records_retained"] + 1
+    with open(report.profile_dump_path) as handle:
+        profile = json.load(handle)
+    assert profile["events"] > 0
+    assert profile["by_kind"]
+
+
+def test_chaos_clean_run_leaves_no_dump(tmp_path):
+    report = run_chaos(
+        "fmtcp",
+        FaultScenario.named("path_death"),
+        flight_dump_dir=str(tmp_path),
+    )
+    assert report.ok
+    assert report.flight_dump_path is None
+    assert report.profile_dump_path is None
+    assert not list(tmp_path.iterdir())
+
+
+def test_chaos_sanitizes_scenario_name_in_dump_path(tmp_path):
+    report = run_chaos(
+        "fmtcp",
+        FaultScenario.random(5),
+        seed=5,
+        duration_s=5.0,  # too short to finish -> violation
+        flight_dump_dir=str(tmp_path),
+    )
+    assert not report.ok
+    assert ":" not in report.flight_dump_path.rsplit("/", 1)[-1]

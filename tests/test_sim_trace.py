@@ -69,3 +69,53 @@ def test_record_get_with_default():
 
 def test_emit_without_subscribers_is_noop(trace):
     trace.emit(0.0, "nobody", listening=True)  # must not raise
+
+
+def test_unsubscribe_self_during_emit(trace):
+    """A callback may unsubscribe itself mid-emit without skipping or
+    crashing the other subscribers (regression: mutation during
+    iteration silently skipped the next callback in the list)."""
+    seen = []
+
+    def one_shot(record):
+        seen.append(("one_shot", record.kind))
+        trace.unsubscribe("k", one_shot)
+
+    trace.subscribe("k", one_shot)
+    trace.subscribe("k", lambda record: seen.append(("steady", record.kind)))
+    trace.emit(0.0, "k")
+    assert seen == [("one_shot", "k"), ("steady", "k")]
+    seen.clear()
+    trace.emit(1.0, "k")
+    assert seen == [("steady", "k")]
+
+
+def test_unsubscribe_wildcard_during_emit(trace):
+    seen = []
+
+    def one_shot(record):
+        seen.append("one_shot")
+        trace.unsubscribe("*", one_shot)
+
+    trace.subscribe("*", one_shot)
+    trace.subscribe("*", lambda record: seen.append("steady"))
+    trace.emit(0.0, "k")
+    trace.emit(1.0, "k")
+    assert seen == ["one_shot", "steady", "steady"]
+
+
+def test_subscribe_during_emit_sees_next_record_only(trace):
+    seen = []
+
+    def late(record):
+        seen.append(("late", record.time))
+
+    def adder(record):
+        trace.subscribe("k", late)
+
+    trace.subscribe("k", adder)
+    trace.emit(0.0, "k")
+    assert seen == []  # the new subscriber missed the in-flight record
+    trace.unsubscribe("k", adder)
+    trace.emit(1.0, "k")
+    assert seen == [("late", 1.0)]

@@ -1,0 +1,161 @@
+"""Unit tests for counters, gauges and P² streaming histograms."""
+
+import random
+
+import pytest
+
+from repro.metrics.stats import percentile as exact_percentile
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    P2Quantile,
+    StreamingHistogram,
+)
+
+
+# ----------------------------------------------------------------------
+# Counter / Gauge.
+# ----------------------------------------------------------------------
+def test_counter_increments():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+
+
+def test_counter_rejects_negative():
+    counter = Counter("c")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_tracks_extremes():
+    gauge = Gauge("g")
+    assert gauge.value is None
+    for value in (3.0, -1.0, 7.0, 2.0):
+        gauge.set(value)
+    assert gauge.value == 2.0
+    assert gauge.min_seen == -1.0
+    assert gauge.max_seen == 7.0
+    assert gauge.updates == 4
+
+
+# ----------------------------------------------------------------------
+# P² quantile estimation.
+# ----------------------------------------------------------------------
+def test_p2_rejects_bad_quantile():
+    with pytest.raises(ValueError):
+        P2Quantile(0.0)
+    with pytest.raises(ValueError):
+        P2Quantile(1.0)
+
+
+def test_p2_exact_for_small_samples():
+    estimator = P2Quantile(0.5)
+    assert estimator.value is None
+    for x in (5.0, 1.0, 3.0):
+        estimator.observe(x)
+    assert estimator.value == pytest.approx(3.0)
+
+
+@pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+def test_p2_tracks_uniform_distribution(q):
+    rng = random.Random(42)
+    estimator = P2Quantile(q)
+    samples = [rng.uniform(0.0, 100.0) for __ in range(5000)]
+    for x in samples:
+        estimator.observe(x)
+    exact = exact_percentile(samples, q * 100.0)
+    # P² is an approximation; a couple of units on a 0-100 scale is ample
+    # for telemetry percentiles.
+    assert estimator.value == pytest.approx(exact, abs=2.5)
+
+
+def test_p2_tracks_skewed_distribution():
+    rng = random.Random(7)
+    estimator = P2Quantile(0.95)
+    samples = [rng.expovariate(1.0 / 20.0) for __ in range(8000)]
+    for x in samples:
+        estimator.observe(x)
+    exact = exact_percentile(samples, 95.0)
+    assert estimator.value == pytest.approx(exact, rel=0.1)
+
+
+def test_p2_constant_memory():
+    estimator = P2Quantile(0.5)
+    for x in range(10_000):
+        estimator.observe(float(x))
+    assert len(estimator._heights) == 5
+    assert estimator.count == 10_000
+
+
+# ----------------------------------------------------------------------
+# StreamingHistogram.
+# ----------------------------------------------------------------------
+def test_histogram_snapshot_keys():
+    histogram = StreamingHistogram("h")
+    for x in range(1, 101):
+        histogram.observe(float(x))
+    snap = histogram.snapshot()
+    assert snap["count"] == 100.0
+    assert snap["min"] == 1.0
+    assert snap["max"] == 100.0
+    assert snap["mean"] == pytest.approx(50.5)
+    assert snap["p50"] == pytest.approx(50.5, abs=3.0)
+    assert snap["p95"] == pytest.approx(95.0, abs=3.0)
+    assert snap["p99"] == pytest.approx(99.0, abs=3.0)
+
+
+def test_histogram_unknown_percentile_raises():
+    histogram = StreamingHistogram("h")
+    histogram.observe(1.0)
+    with pytest.raises(KeyError):
+        histogram.percentile(0.75)
+
+
+def test_histogram_empty_is_safe():
+    histogram = StreamingHistogram("h")
+    assert histogram.mean == 0.0
+    assert histogram.percentile(0.5) is None
+    assert histogram.snapshot()["p50"] is None
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry.
+# ----------------------------------------------------------------------
+def test_registry_get_or_create_returns_same_object():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("b") is registry.gauge("b")
+    assert registry.histogram("c") is registry.histogram("c")
+    assert len(registry) == 3
+    assert registry.names() == ["a", "b", "c"]
+
+
+def test_registry_kind_mismatch_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+    with pytest.raises(TypeError):
+        registry.histogram("x")
+
+
+def test_registry_snapshot_and_render():
+    registry = MetricsRegistry()
+    registry.counter("sent").inc(3)
+    registry.gauge("cwnd").set(12.0)
+    registry.histogram("rtt").observe(0.1)
+    snap = registry.snapshot()
+    assert snap["sent"] == 3
+    assert snap["cwnd"] == 12.0
+    assert snap["rtt"]["count"] == 1.0
+    rendered = "\n".join(registry.render())
+    assert "sent: 3" in rendered
+    assert "cwnd: 12" in rendered
+    assert "rtt:" in rendered
+
+
+def test_registry_get_missing_returns_none():
+    assert MetricsRegistry().get("nope") is None

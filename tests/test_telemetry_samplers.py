@@ -1,0 +1,195 @@
+"""Samplers and the telemetry session: series content, clean teardown,
+and the zero-cost-when-off guarantee."""
+
+import pytest
+
+from repro.core.config import FmtcpConfig
+from repro.core.connection import FmtcpConnection
+from repro.mptcp.connection import MptcpConfig, MptcpConnection
+from repro.net.topology import PathConfig
+from repro.sim.rng import RngStreams
+from repro.telemetry import (
+    MetricsRegistry,
+    PeriodicSampler,
+    TelemetryConfig,
+    attach_samplers,
+)
+from repro.workloads.sources import BulkSource
+
+from tests.conftest import make_two_path
+
+
+def _fmtcp(network, paths, trace, seed=7):
+    return FmtcpConnection(
+        network.sim, paths, BulkSource(), config=FmtcpConfig(),
+        trace=trace, rng=RngStreams(seed),
+    )
+
+
+def _collect(trace, kinds):
+    seen = {kind: [] for kind in kinds}
+    for kind in kinds:
+        trace.subscribe(kind, seen[kind].append)
+    return seen
+
+
+def test_attach_samplers_fmtcp_emits_all_series():
+    network, paths, trace = make_two_path(loss2=0.05)
+    connection = _fmtcp(network, paths, trace)
+    seen = _collect(
+        trace, ["telemetry.subflow", "telemetry.decoder", "telemetry.conn"]
+    )
+    registry = MetricsRegistry()
+    samplers = attach_samplers(
+        network.sim, connection, trace, period_s=0.1, registry=registry
+    )
+    assert len(samplers) == 3
+    connection.start()
+    network.sim.run(until=3.0)
+
+    subflow_records = seen["telemetry.subflow"]
+    assert subflow_records, "no subflow samples"
+    ids = {record["subflow"] for record in subflow_records}
+    assert ids == {0, 1}
+    sample = subflow_records[-1]
+    for key in ("cwnd", "ssthresh", "srtt", "rto", "in_flight", "loss_est", "eat"):
+        assert key in sample.fields
+    assert sample["eat"] is not None  # FMTCP sender provides the EAT table
+
+    assert seen["telemetry.conn"], "no connection samples"
+    assert "pending_blocks" in seen["telemetry.conn"][-1].fields
+
+    # Registry got the folded-in aggregates.
+    assert registry.gauge("subflow0.cwnd").value is not None
+    assert registry.histogram("subflow0.srtt_ms").count > 0
+    assert registry.counter("decoder.blocks_decoded").value > 0
+    assert registry.histogram("decoder.decode_latency_s").count > 0
+
+
+def test_attach_samplers_mptcp_duck_typing():
+    network, paths, trace = make_two_path()
+    connection = MptcpConnection(
+        network.sim, paths, BulkSource(), config=MptcpConfig(), trace=trace
+    )
+    seen = _collect(trace, ["telemetry.subflow", "telemetry.conn"])
+    samplers = attach_samplers(network.sim, connection, trace, period_s=0.1)
+    # MPTCP has no fountain decoder, so no DecoderSampler.
+    assert len(samplers) == 2
+    connection.start()
+    network.sim.run(until=2.0)
+    assert seen["telemetry.subflow"]
+    assert seen["telemetry.subflow"][-1]["eat"] is None
+    assert "reorder_occupancy" in seen["telemetry.conn"][-1].fields
+    for sampler in samplers:
+        sampler.stop()
+
+
+def test_sampler_stop_cancels_pending_event(sim):
+    class Noop(PeriodicSampler):
+        def sample(self):
+            pass
+
+    sampler = Noop(sim, period_s=0.1)
+    sampler.start()
+    assert sim.pending_events == 1
+    sampler.stop()
+    sim.drain_cancelled()
+    assert sim.pending_events == 0
+    # Stop mid-run too: the rescheduled event must also be cancelled.
+    sampler.start()
+    sim.run(until=0.35)
+    assert sampler.samples_taken == 3
+    sampler.stop()
+    sim.drain_cancelled()
+    assert sim.pending_events == 0
+
+
+def test_sampler_validation(sim):
+    class Noop(PeriodicSampler):
+        def sample(self):
+            pass
+
+    with pytest.raises(ValueError):
+        Noop(sim, period_s=0.0)
+
+
+def test_no_telemetry_records_without_samplers():
+    """The zero-cost path: an uninstrumented run emits no telemetry.*
+    records and pays no subscriber cost at the emit call sites."""
+    network, paths, trace = make_two_path()
+    connection = _fmtcp(network, paths, trace)
+    assert not trace.has_subscribers("telemetry.subflow")
+    seen = _collect(trace, ["telemetry.subflow", "telemetry.decoder", "telemetry.conn"])
+    connection.start()
+    network.sim.run(until=2.0)
+    assert all(not records for records in seen.values())
+
+
+def test_decoder_sampler_unsubscribes_on_stop():
+    network, paths, trace = make_two_path()
+    connection = _fmtcp(network, paths, trace)
+    registry = MetricsRegistry()
+    samplers = attach_samplers(
+        network.sim, connection, trace, period_s=0.1, registry=registry
+    )
+    for sampler in samplers:
+        sampler.stop()
+    before = registry.counter("decoder.blocks_decoded").value
+    connection.start()
+    network.sim.run(until=2.0)
+    # Stopped sampler must no longer fold block_decoded events in.
+    assert registry.counter("decoder.blocks_decoded").value == before
+
+
+def test_run_transfer_with_telemetry_config(tmp_path):
+    from repro.experiments.runner import run_transfer
+
+    trace_path = tmp_path / "run.jsonl"
+    result = run_transfer(
+        "fmtcp",
+        [PathConfig(bandwidth_bps=4e6, delay_s=0.02, loss_rate=0.01)] * 2,
+        duration_s=3.0,
+        telemetry=TelemetryConfig(
+            sample_period_s=0.1,
+            trace_path=str(trace_path),
+            profile_sim=True,
+            flight_capacity=64,
+        ),
+    )
+    report = result.telemetry
+    assert report is not None
+    assert report.trace_records_written > 0
+    assert trace_path.exists()
+    assert report.profile is not None and report.profile["events"] > 0
+    assert 0 < report.flight_records <= 64
+    assert any("subflow0" in name for name in report.metrics)
+    assert report.render()
+
+
+def test_run_transfer_without_telemetry_has_none():
+    from repro.experiments.runner import run_transfer
+
+    result = run_transfer(
+        "fmtcp",
+        [PathConfig(bandwidth_bps=4e6, delay_s=0.02)] * 2,
+        duration_s=1.0,
+    )
+    assert result.telemetry is None
+
+
+def test_telemetry_config_validation():
+    with pytest.raises(ValueError):
+        TelemetryConfig(sample_period_s=0.0)
+    with pytest.raises(ValueError):
+        TelemetryConfig(flight_capacity=-1)
+
+
+def test_telemetry_session_finish_is_idempotent(sim, trace):
+    from repro.telemetry import TelemetrySession
+
+    session = TelemetrySession(sim, trace, config=TelemetryConfig(profile_sim=True))
+    assert sim.profiler is session.profiler
+    first = session.finish()
+    second = session.finish()
+    assert sim.profiler is None
+    assert first.profile is not None and second.profile is not None

@@ -1,0 +1,145 @@
+"""The ``repro trace`` subcommand family, record through analysis."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def recorded_trace(tmp_path_factory):
+    """One short recorded run shared by all analysis-command tests."""
+    path = tmp_path_factory.mktemp("trace") / "run.jsonl"
+    assert (
+        main(
+            [
+                "--duration", "3",
+                "trace", "record",
+                "--case", "2",
+                "--output", str(path),
+                "--profile",
+            ]
+        )
+        == 0
+    )
+    return str(path)
+
+
+def test_parser_knows_trace_subcommands():
+    parser = build_parser()
+    for argv in (
+        ["trace", "record"],
+        ["trace", "summarize", "f.jsonl"],
+        ["trace", "subflows", "f.jsonl"],
+        ["trace", "timeline", "f.jsonl", "--kind", "subflow.loss"],
+        ["trace", "export-csv", "f.jsonl"],
+    ):
+        args = parser.parse_args(argv)
+        assert callable(args.fn)
+
+
+def test_bare_trace_prints_help(capsys):
+    assert main(["trace"]) == 0
+    out = capsys.readouterr().out
+    assert "summarize" in out and "export-csv" in out
+
+
+def test_record_reports_progress(tmp_path, capsys):
+    output = tmp_path / "quick.jsonl"
+    assert main(
+        ["--duration", "1", "trace", "record", "--case", "1", "--output", str(output)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "records written" in out
+    assert "trace summarize" in out
+
+
+def test_summarize_renders_kind_table_and_goodput(recorded_trace, capsys):
+    assert main(["trace", "summarize", recorded_trace]) == 0
+    out = capsys.readouterr().out
+    assert "records over t=" in out
+    assert "telemetry.subflow" in out
+    assert "goodput:" in out
+    assert "block delay (ms):" in out
+
+
+def test_subflows_renders_series(recorded_trace, capsys):
+    assert main(["trace", "subflows", recorded_trace]) == 0
+    out = capsys.readouterr().out
+    assert "subflow 0:" in out and "subflow 1:" in out
+    assert "cwnd" in out and "srtt(ms)" in out and "eat(ms)" in out
+
+
+def test_timeline_filters_and_limits(recorded_trace, capsys):
+    assert main(
+        [
+            "trace", "timeline", recorded_trace,
+            "--kind", "conn.delivered",
+            "--limit", "5",
+        ]
+    ) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    data_lines = [line for line in out if "conn.delivered" in line]
+    assert 0 < len(data_lines) <= 5
+    assert all("conn.delivered" in line for line in out if "elided" not in line)
+
+
+def test_timeline_window(recorded_trace, capsys):
+    assert main(
+        [
+            "trace", "timeline", recorded_trace,
+            "--kind", "telemetry.conn",
+            "--start", "1.0", "--end", "2.0",
+            "--limit", "100",
+        ]
+    ) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    times = [float(line.split()[0]) for line in out if "telemetry.conn" in line]
+    assert times and all(1.0 <= t <= 2.0 for t in times)
+
+
+def test_export_csv_stdout_and_file(recorded_trace, capsys, tmp_path):
+    assert main(
+        ["trace", "export-csv", recorded_trace, "--kind", "telemetry.subflow"]
+    ) == 0
+    out = capsys.readouterr().out
+    header = out.splitlines()[0]
+    assert header.startswith("t,kind,")
+    assert "cwnd" in header and "srtt" in header
+
+    output = tmp_path / "subflows.csv"
+    assert main(
+        [
+            "trace", "export-csv", recorded_trace,
+            "--kind", "telemetry.subflow",
+            "--output", str(output),
+        ]
+    ) == 0
+    assert output.read_text().splitlines()[0] == header
+
+
+def test_summarize_handles_flight_dump(tmp_path, capsys):
+    from repro.sim.trace import TraceBus
+    from repro.telemetry import FlightRecorder
+
+    trace = TraceBus()
+    flight = FlightRecorder(trace, capacity=8)
+    for index in range(12):
+        trace.emit(float(index), "k", seq=index)
+    path = tmp_path / "dump.jsonl"
+    flight.dump(str(path), meta={"scenario": "unit"})
+    assert main(["trace", "summarize", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "flight-recorder dump" in out
+    assert "scenario=unit" in out
+
+
+def test_subflows_explains_missing_telemetry(tmp_path, capsys):
+    from repro.sim.trace import TraceBus
+    from repro.sim.tracefile import TraceFileWriter
+
+    trace = TraceBus()
+    path = tmp_path / "bare.jsonl"
+    with TraceFileWriter(trace, str(path)):
+        trace.emit(0.0, "subflow.send", subflow=0, seq=1)
+    assert main(["trace", "subflows", str(path)]) == 0
+    assert "no telemetry.subflow samples" in capsys.readouterr().out

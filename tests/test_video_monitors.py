@@ -184,6 +184,36 @@ def test_monitor_stop_halts_sampling():
     assert len(monitor.samples) == count
 
 
+@pytest.mark.parametrize("monitor_cls", [QueueMonitor, UtilisationMonitor])
+def test_monitor_stop_cancels_pending_event(monitor_cls):
+    """stop() must cancel the in-flight sample event so a stopped monitor
+    does not keep the event heap alive (chaos-soak asserts
+    pending_events == 0 after teardown)."""
+    network, paths, __ = saturated_link_network()
+    sim = network.sim
+    monitor = monitor_cls(sim, paths[0].forward_links[0], period_s=0.1)
+    monitor.start()
+    assert sim.pending_events == 1
+    monitor.stop()
+    sim.drain_cancelled()
+    assert sim.pending_events == 0
+    # start/stop mid-run behaves the same.
+    monitor.start()
+    sim.run(until=0.35)
+    monitor.stop()
+    sim.drain_cancelled()
+    assert sim.pending_events == 0
+
+
+def test_monitor_start_is_idempotent():
+    network, paths, __ = saturated_link_network()
+    monitor = QueueMonitor(network.sim, paths[0].forward_links[0], period_s=0.1)
+    monitor.start()
+    monitor.start()
+    assert network.sim.pending_events == 1
+    monitor.stop()
+
+
 def test_monitor_validation():
     sim = Simulator()
     network, paths, __ = saturated_link_network()
