@@ -22,7 +22,13 @@ import json
 import os
 
 from benchmarks.conftest import RESULTS_DIR
-from repro.faults import SCENARIOS, FaultScenario, measure_fault_response
+from repro.faults import (
+    MOBILITY_SCENARIOS,
+    SCENARIOS,
+    FaultScenario,
+    measure_churn_response,
+    measure_fault_response,
+)
 from repro.metrics.stats import mean
 
 BASE_LOSS = 0.05
@@ -99,4 +105,75 @@ def test_fault_response(benchmark, report):
         for protocol in ("fmtcp", "mptcp"):
             assert per_protocol[protocol]["post_mbps"] > 0, (
                 f"{name}/{protocol}: no goodput after heal"
+            )
+
+
+def _measure_churn():
+    results = {}
+    for name in sorted(MOBILITY_SCENARIOS):
+        scenario = FaultScenario.named(name)
+        per_protocol = {}
+        for protocol in ("fmtcp", "mptcp"):
+            runs = [
+                measure_churn_response(
+                    protocol, scenario, seed=seed, base_loss=BASE_LOSS
+                )
+                for seed in SEEDS
+            ]
+            per_protocol[protocol] = {
+                "retention": mean([run.retention for run in runs]),
+                "pre_mbps": mean([run.pre_mbps for run in runs]),
+                "during_mbps": mean([run.during_mbps for run in runs]),
+                "post_mbps": mean([run.post_mbps for run in runs]),
+                "recovery_s": mean(
+                    [
+                        run.recovery_s
+                        if run.recovery_s is not None
+                        else run.duration_s - scenario.settle_time
+                        for run in runs
+                    ]
+                ),
+            }
+        results[name] = per_protocol
+    return results
+
+
+def test_churn_response(benchmark, report):
+    """Subflow lifecycle churn: handover, flap-with-rejoin, permanent loss.
+
+    Unlike the link faults above, these remove and re-add the *subflows*
+    themselves, so the cost measured here includes teardown, the join
+    handshake and (for MPTCP) chunk reinjection.
+    """
+    results = benchmark.pedantic(_measure_churn, rounds=1, iterations=1)
+
+    lines = [
+        f"Goodput through subflow churn, {BASE_LOSS:.0%} base loss, "
+        f"seeds {list(SEEDS)} (mean):",
+        f"{'scenario':>24}  {'FMTCP ret':>9}  {'MPTCP ret':>9}  "
+        f"{'FMTCP post':>10}  {'MPTCP post':>10}",
+    ]
+    for name, per_protocol in results.items():
+        fmtcp, mptcp = per_protocol["fmtcp"], per_protocol["mptcp"]
+        lines.append(
+            f"{name:>24}  {fmtcp['retention']:>9.3f}  {mptcp['retention']:>9.3f}  "
+            f"{fmtcp['post_mbps']:>10.3f}  {mptcp['post_mbps']:>10.3f}"
+        )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_churn.json").write_text(
+        json.dumps(
+            {"base_loss": BASE_LOSS, "seeds": list(SEEDS), "scenarios": results},
+            indent=2,
+        )
+        + "\n"
+    )
+    report("churn_response", lines)
+
+    for name, per_protocol in results.items():
+        for protocol in ("fmtcp", "mptcp"):
+            # Graceful degradation: whatever was removed, the survivors
+            # keep delivering after the churn settles.
+            assert per_protocol[protocol]["post_mbps"] > 0, (
+                f"{name}/{protocol}: no goodput after the churn settled"
             )

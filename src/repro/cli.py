@@ -272,50 +272,81 @@ def cmd_replicate(args: argparse.Namespace) -> None:
         )
 
 
-def cmd_faults(args: argparse.Namespace) -> None:
+def _print_fault_scenarios() -> None:
+    from repro.faults import MOBILITY_SCENARIOS, SCENARIOS
+
+    print("Preset fault scenarios (also accepts random:SEED):")
+    for name in sorted(SCENARIOS):
+        scenario = SCENARIOS[name]()
+        print(
+            f"  {name:>23}: {len(scenario.events)} events, "
+            f"faults {scenario.fault_start:.0f}-{scenario.heal_time:.0f}s"
+        )
+    print("Mobility presets (subflow lifecycle churn):")
+    for name in sorted(MOBILITY_SCENARIOS):
+        scenario = MOBILITY_SCENARIOS[name]()
+        print(
+            f"  {name:>23}: {len(scenario.events)} events, "
+            f"churn {scenario.fault_start:.0f}-{scenario.settle_time:.1f}s"
+        )
+
+
+def cmd_faults(args: argparse.Namespace) -> Optional[int]:
     from repro.faults import (
-        SCENARIOS,
+        measure_churn_response,
         measure_fault_response,
         resolve_scenario,
         run_chaos,
+        run_churn,
     )
 
     if args.scenario == "list":
-        print("Preset fault scenarios (also accepts random:SEED):")
-        for name in sorted(SCENARIOS):
-            scenario = SCENARIOS[name]()
-            print(
-                f"  {name:>20}: {len(scenario.events)} events, "
-                f"faults {scenario.fault_start:.0f}-{scenario.heal_time:.0f}s"
-            )
-        return
-    scenario = resolve_scenario(args.scenario)
+        _print_fault_scenarios()
+        return None
+    try:
+        scenario = resolve_scenario(args.scenario)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        _print_fault_scenarios()
+        return 2
     protocols = ("fmtcp", "mptcp") if args.protocol == "both" else (args.protocol,)
-    # Always leave room to recover after the last fault heals.
-    duration = max(args.duration or 40.0, scenario.heal_time + 4.0)
+    # Always leave room to recover after the last fault heals / settles.
+    settle = max(scenario.heal_time, scenario.settle_time)
+    duration = max(args.duration or 40.0, settle + 4.0)
     print(
         f"Scenario {scenario.name}: {len(scenario.events)} events, "
-        f"faults {scenario.fault_start:.1f}-{scenario.heal_time:.1f}s, "
+        f"faults {scenario.fault_start:.1f}-{settle:.1f}s, "
         f"{duration:.0f}s run, seed {args.seed}"
     )
     for protocol in protocols:
-        report = run_chaos(
-            protocol,
-            scenario,
-            seed=args.seed,
-            duration_s=duration,
-            flight_dump_dir=args.flight_dir,
-        )
+        if scenario.has_churn:
+            report = run_churn(
+                protocol,
+                scenario,
+                seed=args.seed,
+                duration_s=duration,
+                flight_dump_dir=args.flight_dir,
+            )
+            progress = (
+                f"{report.path_downs} downs / {report.path_ups} ups / "
+                f"{report.handovers} handovers"
+            )
+        else:
+            report = run_chaos(
+                protocol,
+                scenario,
+                seed=args.seed,
+                duration_s=duration,
+                flight_dump_dir=args.flight_dir,
+            )
+            progress = f"{report.bytes_at_heal}/{report.expected_bytes} B by heal"
         status = "OK" if report.ok else "VIOLATIONS"
         completed = (
             f"completed at {report.completion_time_s:.1f}s"
             if report.completion_time_s is not None
             else f"incomplete ({report.delivered_bytes}/{report.expected_bytes} B)"
         )
-        print(
-            f"  {protocol:>6}: {status} — {completed}, "
-            f"{report.bytes_at_heal}/{report.expected_bytes} B by heal"
-        )
+        print(f"  {protocol:>6}: {status} — {completed}, {progress}")
         for violation in report.violations:
             print(f"          ! {violation}")
         if report.flight_dump_path is not None:
@@ -330,10 +361,11 @@ def cmd_faults(args: argparse.Namespace) -> None:
                 widths,
             )
         )
+        measure = (
+            measure_churn_response if scenario.has_churn else measure_fault_response
+        )
         for protocol in protocols:
-            bench = measure_fault_response(
-                protocol, scenario, seed=args.seed, duration_s=duration
-            )
+            bench = measure(protocol, scenario, seed=args.seed, duration_s=duration)
             print(
                 _fmt_row(
                     [
@@ -347,6 +379,7 @@ def cmd_faults(args: argparse.Namespace) -> None:
                     widths,
                 )
             )
+    return None
 
 
 def cmd_trace_record(args: argparse.Namespace) -> None:
@@ -547,8 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    args.fn(args)
-    return 0
+    return args.fn(args) or 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

@@ -39,6 +39,7 @@ class FmtcpConnection:
             raise ValueError("need at least one path")
         self.sim = sim
         self.config = config or FmtcpConfig()
+        self.trace = trace
         rng = rng or RngStreams(0)
 
         self.block_manager = BlockManager(
@@ -51,38 +52,111 @@ class FmtcpConnection:
 
         self.subflows: List[Subflow] = []
         self._sinks: List[SubflowSink] = []
-        lia_group = LiaGroup() if self.config.congestion == "lia" else None
-        for index, path in enumerate(paths):
-            controller = make_controller(
-                self.config.congestion,
-                lia_group=lia_group,
-                rtt_provider=(lambda i=index: self.subflows[i].srtt),
-                initial_cwnd=self.config.initial_cwnd,
-            )
-            subflow = Subflow(
-                sim=sim,
-                path=path,
-                owner=self.sender,
-                subflow_id=index,
-                congestion=controller,
-                rto=RtoEstimator(min_rto=self.config.min_rto),
-                mss=self.config.mss,
-                dup_ack_threshold=self.config.dup_ack_threshold,
-                trace=trace,
-                failed_rto_threshold=self.config.failover_rto_threshold,
-            )
-            self.subflows.append(subflow)
-            self._sinks.append(
-                SubflowSink(
-                    sim=sim,
-                    path=path,
-                    subflow=subflow,
-                    on_segment=self.receiver.on_segment,
-                    feedback_provider=lambda sf_id, segment: self.receiver.feedback(),
-                    trace=trace,
-                )
-            )
+        self._sink_by_id: dict = {}
+        self._next_subflow_id = 0
+        self._lia_group = LiaGroup() if self.config.congestion == "lia" else None
+        for path in paths:
+            self._attach(path, join_delay_s=None)
         self.sender.attach_subflows(self.subflows)
+
+    def _attach(self, path: Path, join_delay_s: Optional[float]) -> Subflow:
+        """Build one subflow + its receiver sink (no sender re-enumeration)."""
+        subflow_id = self._next_subflow_id
+        self._next_subflow_id += 1
+        controller = make_controller(
+            self.config.congestion,
+            lia_group=self._lia_group,
+            rtt_provider=(lambda: 0.0),  # rebound to the subflow below
+            initial_cwnd=self.config.initial_cwnd,
+        )
+        subflow = Subflow(
+            sim=self.sim,
+            path=path,
+            owner=self.sender,
+            subflow_id=subflow_id,
+            congestion=controller,
+            rto=RtoEstimator(min_rto=self.config.min_rto),
+            mss=self.config.mss,
+            dup_ack_threshold=self.config.dup_ack_threshold,
+            trace=self.trace,
+            failed_rto_threshold=self.config.failover_rto_threshold,
+            join_delay_s=join_delay_s,
+        )
+        if hasattr(controller, "rtt_provider"):
+            controller.rtt_provider = lambda sf=subflow: sf.srtt
+        self.subflows.append(subflow)
+        sink = SubflowSink(
+            sim=self.sim,
+            path=path,
+            subflow=subflow,
+            on_segment=self.receiver.on_segment,
+            feedback_provider=lambda sf_id, segment: self.receiver.feedback(),
+            trace=self.trace,
+        )
+        self._sinks.append(sink)
+        self._sink_by_id[subflow_id] = sink
+        return subflow
+
+    # ------------------------------------------------------------------
+    # Runtime subflow lifecycle.
+    # ------------------------------------------------------------------
+    def add_subflow(
+        self, path: Path, join_delay_s: Optional[float] = None
+    ) -> Subflow:
+        """Attach a new path mid-transfer (mobility: a path came up).
+
+        The subflow starts in JOINING for ``join_delay_s`` (default: one
+        RTT of the path, modelling the MP_JOIN handshake) and enters the
+        EAT allocator only once ACTIVE. Returns the new subflow.
+        """
+        if join_delay_s is None:
+            join_delay_s = 2.0 * path.one_way_delay_s
+        subflow = self._attach(path, join_delay_s=join_delay_s)
+        self.sender.attach_subflows(self.subflows)
+        if self.trace is not None and self.trace.has_subscribers("conn.subflow_added"):
+            self.trace.emit(
+                self.sim.now,
+                "conn.subflow_added",
+                subflow=subflow.subflow_id,
+                path=path.name,
+                handshake_s=join_delay_s,
+            )
+        return subflow
+
+    def remove_subflow(self, subflow_id: int) -> int:
+        """Detach a subflow mid-transfer (mobility: its path went away).
+
+        The subflow is shut down cleanly (timers cancelled, port unbound),
+        its in-flight symbols are written off — which lowers k̃ for the
+        affected blocks and re-opens their demand — and the EAT allocator
+        re-enumerates the survivors. Nothing is retransmitted: fresh
+        fountain symbols flow to whichever path is expected to arrive
+        first. Returns the number of in-flight packets written off.
+        """
+        subflow = self.sender._subflow_by_id.get(subflow_id)
+        if subflow is None or subflow not in self.subflows:
+            raise ValueError(f"unknown subflow id {subflow_id}")
+        sink = self._sink_by_id.pop(subflow_id)
+        infos = subflow.shutdown()
+        sink.close()
+        if self._lia_group is not None:
+            self._lia_group.unregister(subflow.cc)
+        self.subflows.remove(subflow)
+        self._sinks.remove(sink)
+        for info in infos:
+            self.sender.release_abandoned(subflow, info)
+        self.sender.attach_subflows(self.subflows)
+        if self.trace is not None and self.trace.has_subscribers(
+            "conn.subflow_removed"
+        ):
+            self.trace.emit(
+                self.sim.now,
+                "conn.subflow_removed",
+                subflow=subflow_id,
+                abandoned=len(infos),
+            )
+        self.sender.pump_all()
+        return len(infos)
 
     # ------------------------------------------------------------------
     # Lifecycle (same surface as MptcpConnection).

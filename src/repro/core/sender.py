@@ -47,6 +47,7 @@ class FmtcpSender(SubflowOwner):
         self.blocks = block_manager
         self.trace = trace
         self.subflows: List[Subflow] = []
+        self._subflow_by_id: dict = {}
         self._decoded_frontier_seen = 0
         self._decoded_out_of_order_seen: set = set()
         # Adaptive completeness margin state (extension; see FmtcpConfig).
@@ -63,14 +64,24 @@ class FmtcpSender(SubflowOwner):
         self.suspect_events = 0
 
     def attach_subflows(self, subflows: Sequence[Subflow]) -> None:
-        """Register the subflows this sender drives (done by the connection)."""
+        """Register the subflows this sender drives (done by the connection).
+
+        Re-invoked on every ``add_subflow`` / ``remove_subflow`` so the EAT
+        allocator re-enumerates the live path set; subflow ids are stable
+        identities, not list indices.
+        """
         self.subflows = list(subflows)
+        self._subflow_by_id = {subflow.subflow_id: subflow for subflow in subflows}
 
     # ------------------------------------------------------------------
     # Path-quality snapshots for the allocator.
     # ------------------------------------------------------------------
     def loss_rate_of(self, subflow_id: int) -> float:
-        subflow = self.subflows[subflow_id]
+        subflow = self._subflow_by_id.get(subflow_id)
+        if subflow is None:
+            # A removed subflow's id can linger in per-block accounting for
+            # one allocation round; treat it as maximally lossy.
+            return _MAX_LOSS
         aged = subflow.aged_loss_estimate(self.config.loss_estimate_half_life_s)
         estimate = max(aged, self.config.loss_estimate_floor)
         return min(estimate, _MAX_LOSS)
@@ -93,7 +104,8 @@ class FmtcpSender(SubflowOwner):
                 tau=subflow.tau,
             )
             for subflow in self.subflows
-            if include_suspect or not subflow.potentially_failed
+            if not subflow.is_joining
+            and (include_suspect or not subflow.potentially_failed)
         ]
 
     # ------------------------------------------------------------------
@@ -222,6 +234,21 @@ class FmtcpSender(SubflowOwner):
         # carry the replacements (the allocator decides which one wins).
         self.pump_all()
 
+    def release_abandoned(self, subflow: Subflow, info: SubflowPacketInfo) -> None:
+        """Write off an in-flight packet of a subflow removed at runtime.
+
+        Same accounting as a loss — the symbols' l_b^f contribution is
+        subtracted, which lowers k̃ and re-opens demand on the surviving
+        paths — but without the per-packet ``pump_all`` storm: the caller
+        (``FmtcpConnection.remove_subflow``) drains the whole window first
+        and pumps once. No retransmission happens by construction; the
+        allocator simply routes fresh symbols elsewhere (Section III:
+        rateless coding *is* the failover).
+        """
+        payload: FmtcpSegmentPayload = info.payload
+        self._resolve_groups(subflow, payload)
+        self.symbols_lost += payload.total_symbols()
+
     # ------------------------------------------------------------------
     # SubflowOwner: dead-path failover.
     # ------------------------------------------------------------------
@@ -237,6 +264,11 @@ class FmtcpSender(SubflowOwner):
         # An acknowledged probe readmits the path to the allocator; its
         # loss estimate still carries the quarantine pessimism, which the
         # probe-chaining mechanism pays down one EWMA sample per RTT.
+        self.pump_all()
+
+    def on_subflow_ready(self, subflow: Subflow) -> None:
+        # A joined subflow enters path_estimates from this instant; pump
+        # everything so the allocator can start handing it symbols.
         self.pump_all()
 
     # ------------------------------------------------------------------

@@ -17,8 +17,16 @@ from repro.faults.chaos import (
     measure_fault_response,
     run_chaos,
 )
+from repro.faults.churn import (
+    ChurnReport,
+    PathChurnController,
+    measure_churn_response,
+    run_churn,
+)
 from repro.faults.scenario import (
+    CHURN_KINDS,
     FAULT_KINDS,
+    MOBILITY_SCENARIOS,
     SCENARIOS,
     FaultEvent,
     FaultInjector,
@@ -27,15 +35,21 @@ from repro.faults.scenario import (
 )
 
 __all__ = [
+    "CHURN_KINDS",
     "FAULT_KINDS",
+    "MOBILITY_SCENARIOS",
     "SCENARIOS",
     "PROTOCOLS",
     "ChaosReport",
+    "ChurnReport",
     "FaultBenchResult",
     "FaultEvent",
     "FaultInjector",
     "FaultScenario",
+    "PathChurnController",
+    "measure_churn_response",
     "measure_fault_response",
     "resolve_scenario",
     "run_chaos",
+    "run_churn",
 ]

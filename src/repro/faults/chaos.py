@@ -115,6 +115,11 @@ def run_chaos(
     last ``flight_capacity`` trace records plus a profiler report are
     written there for post-mortem analysis with ``repro trace``.
     """
+    if scenario.has_churn:
+        raise ValueError(
+            f"scenario {scenario.name!r} has subflow-lifecycle events; "
+            "use repro.faults.churn.run_churn"
+        )
     trace = TraceBus()
     configs = [
         PathConfig(bandwidth_bps=bandwidth_bps, delay_s=delay_s, loss_rate=base_loss)

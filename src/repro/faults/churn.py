@@ -1,0 +1,467 @@
+"""Subflow churn: runtime path lifecycle under mobility scenarios.
+
+PR 1 gave both transports a dead-path *detector* (suspect state + probe
+backoff); this module is the *recovery* path: subflows are actually torn
+down when their path disappears and new ones are attached — with a join
+handshake — when a path comes up, as on a WiFi→LTE handover.
+
+Three pieces:
+
+* :class:`PathChurnController` — the lifecycle handler a
+  :class:`~repro.faults.scenario.FaultInjector` delegates ``path_down`` /
+  ``path_up`` / ``handover`` events to. It drives both layers in sync:
+  the links (via :meth:`Network.detach_path` / re-raising them) and the
+  transport (``Connection.remove_subflow`` / ``add_subflow``).
+* :func:`run_churn` — the chaos-soak harness for mobility scenarios,
+  with churn-specific invariants: no data loss or reordering across a
+  removal, completion on the surviving path after a permanent
+  ``path_down``, and goodput back within a bounded window of a
+  ``path_up``.
+* :func:`measure_churn_response` — the benchmark probe (open-ended
+  transfer, per-phase goodput) mirroring
+  :func:`~repro.faults.chaos.measure_fault_response`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import FmtcpConfig
+from repro.faults.chaos import FaultBenchResult, _build_connection, _check_timers
+from repro.faults.scenario import FaultScenario
+from repro.metrics.collectors import MetricsSuite
+from repro.metrics.stats import mean
+from repro.mptcp.connection import MptcpConfig
+from repro.net.topology import Network, Path, PathConfig, build_two_path_network
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceBus
+from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.profiler import SimProfiler
+from repro.workloads.sources import BulkSource
+
+
+class PathChurnController:
+    """Applies subflow-lifecycle events to a live connection + topology.
+
+    Tracks which connection subflow currently rides which path index, so
+    a ``path_down`` knows what to remove and a later ``path_up`` of the
+    same index attaches a *new* subflow (new id, fresh congestion state —
+    a re-associated path does not inherit the old path's estimators).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        paths: Sequence[Path],
+        connection,
+        network: Optional[Network] = None,
+        active_paths: Optional[Sequence[int]] = None,
+        trace: Optional[TraceBus] = None,
+        join_handshake_s: Optional[float] = None,
+    ):
+        self.sim = sim
+        self.paths = list(paths)
+        self.connection = connection
+        self.network = network
+        self.trace = trace
+        # None = derive from the path RTT (Connection.add_subflow default).
+        self.join_handshake_s = join_handshake_s
+        active = (
+            tuple(active_paths) if active_paths is not None else range(len(self.paths))
+        )
+        self._subflow_of_path: Dict[int, int] = {
+            path_index: connection.subflows[position].subflow_id
+            for position, path_index in enumerate(active)
+        }
+        self.path_downs = 0
+        self.path_ups = 0
+        self.handovers = 0
+
+    def subflow_on(self, path_index: int) -> Optional[int]:
+        """Id of the subflow currently riding ``path_index`` (or None)."""
+        return self._subflow_of_path.get(path_index)
+
+    def path_down(self, path_index: int) -> None:
+        """The path disappeared: kill its links, remove its subflow."""
+        path = self.paths[path_index]
+        if self.network is not None:
+            self.network.detach_path(path)
+        else:
+            for link in (*path.forward_links, *path.reverse_links):
+                if not link.is_down:
+                    link.set_down(True)
+        subflow_id = self._subflow_of_path.pop(path_index, None)
+        reallocated = 0
+        if subflow_id is not None:
+            reallocated = self.connection.remove_subflow(subflow_id)
+        self.path_downs += 1
+        if self.trace is not None and self.trace.has_subscribers("churn.path_down"):
+            self.trace.emit(
+                self.sim.now,
+                "churn.path_down",
+                path=path_index,
+                subflow=subflow_id,
+                reallocated=reallocated,
+            )
+
+    def path_up(self, path_index: int) -> None:
+        """The path (re)appeared: raise its links, join a new subflow."""
+        if path_index in self._subflow_of_path:
+            return  # Already attached; a duplicate path_up is a no-op.
+        path = self.paths[path_index]
+        for link in (*path.forward_links, *path.reverse_links):
+            if link.is_down:
+                link.set_down(False)
+            if self.network is not None and link not in self.network.links:
+                self.network.links.append(link)
+        subflow = self.connection.add_subflow(
+            path, join_delay_s=self.join_handshake_s
+        )
+        self._subflow_of_path[path_index] = subflow.subflow_id
+        self.path_ups += 1
+        if self.trace is not None and self.trace.has_subscribers("churn.path_up"):
+            self.trace.emit(
+                self.sim.now,
+                "churn.path_up",
+                path=path_index,
+                subflow=subflow.subflow_id,
+            )
+
+    def handover(self, from_path: int, to_path: int, break_s: float) -> None:
+        """Leave ``from_path`` now; ``to_path`` comes up ``break_s`` later.
+
+        With ``break_s = 0`` this is make-before-break (the new subflow
+        starts its join handshake the instant the old path dies); a
+        positive gap models the connectivity blackout of a hard handover.
+        """
+        self.handovers += 1
+        if self.trace is not None and self.trace.has_subscribers("churn.handover"):
+            self.trace.emit(
+                self.sim.now,
+                "churn.handover",
+                path=from_path,
+                to_path=to_path,
+                break_s=break_s,
+            )
+        self.path_down(from_path)
+        if break_s <= 0:
+            self.path_up(to_path)
+        else:
+            self.sim.schedule(break_s, self.path_up, to_path)
+
+
+@dataclass
+class ChurnReport:
+    """Outcome of one :func:`run_churn` run."""
+
+    protocol: str
+    scenario_name: str
+    seed: int
+    duration_s: float
+    expected_bytes: int
+    delivered_bytes: int = 0
+    delivered_units: int = 0
+    completed: bool = False
+    completion_time_s: Optional[float] = None
+    pre_churn_mbps: float = 0.0
+    recovered_at_s: Optional[float] = None
+    path_downs: int = 0
+    path_ups: int = 0
+    handovers: int = 0
+    violations: List[str] = field(default_factory=list)
+    flight_dump_path: Optional[str] = None
+    profile_dump_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_churn(
+    protocol: str,
+    scenario: FaultScenario,
+    seed: int = 1,
+    duration_s: float = 40.0,
+    bandwidth_bps: float = 6e5,
+    delay_s: float = 0.03,
+    base_loss: float = 0.0,
+    total_bytes: int = 2_000_000,
+    flight_dump_dir: Optional[str] = None,
+    flight_capacity: int = 4096,
+    recovery_window_s: float = 5.0,
+    recovery_fraction: float = 0.8,
+) -> ChurnReport:
+    """One finite transfer through a mobility scenario, invariants checked.
+
+    Same sizing rationale as :func:`~repro.faults.chaos.run_chaos` (the
+    transfer is mid-flight through the whole churn window), plus the
+    churn invariants:
+
+    1. **exactly-once, in-order delivery** — removing the subflow that
+       carried data must not corrupt or duplicate the decoded stream;
+    2. **no wedged RTO timers** on the surviving subflows at the end;
+    3. **completion on the surviving paths** — a permanent ``path_down``
+       degrades capacity, never correctness;
+    4. **bounded re-add recovery** — within ``recovery_window_s`` of the
+       last ``path_up`` (or handover settle), goodput is back to
+       ``recovery_fraction`` of the pre-churn steady state, unless the
+       transfer already finished;
+    5. **event-queue drain** after completion and close (a removed
+       subflow must not leak timers).
+    """
+    if not scenario.has_churn:
+        raise ValueError(
+            f"scenario {scenario.name!r} has no lifecycle events; "
+            "use repro.faults.chaos.run_chaos for plain link faults"
+        )
+    trace = TraceBus()
+    configs = [
+        PathConfig(bandwidth_bps=bandwidth_bps, delay_s=delay_s, loss_rate=base_loss)
+        for __ in range(scenario.n_paths)
+    ]
+    network, paths = build_two_path_network(configs, rng=RngStreams(seed), trace=trace)
+    sim = network.sim
+    metrics = MetricsSuite(trace, bin_width_s=1.0)
+
+    flight: Optional[FlightRecorder] = None
+    profiler: Optional[SimProfiler] = None
+    if flight_dump_dir is not None:
+        flight = FlightRecorder(trace, capacity=flight_capacity)
+        profiler = SimProfiler()
+        sim.set_profiler(profiler)
+
+    delivered_ids: List[int] = []
+    if protocol == "fmtcp":
+        block_bytes = FmtcpConfig().block_bytes
+        expected_units = max(1, total_bytes // block_bytes)
+        expected_bytes = expected_units * block_bytes
+        sink = lambda block_id, data: delivered_ids.append(block_id)  # noqa: E731
+    else:
+        mss = MptcpConfig().mss
+        expected_units = total_bytes // mss + (1 if total_bytes % mss else 0)
+        expected_bytes = total_bytes
+        sink = lambda chunk: delivered_ids.append(chunk.dsn)  # noqa: E731
+
+    source = BulkSource(total_bytes=expected_bytes)
+    active_paths = [paths[index] for index in scenario.active_paths]
+    connection = _build_connection(
+        protocol, sim, active_paths, source, seed, trace, sink
+    )
+    # Paths the transfer does not start on are administratively down until
+    # a path_up / handover brings them online.
+    for index, path in enumerate(paths):
+        if index not in scenario.active_paths:
+            network.detach_path(path)
+    controller = PathChurnController(
+        sim,
+        paths,
+        connection,
+        network=network,
+        active_paths=scenario.active_paths,
+        trace=trace,
+    )
+    scenario.apply(sim, paths, trace=trace, lifecycle=controller)
+
+    report = ChurnReport(
+        protocol=protocol,
+        scenario_name=scenario.name,
+        seed=seed,
+        duration_s=duration_s,
+        expected_bytes=expected_bytes,
+    )
+
+    def _watch_completion() -> None:
+        if connection.delivered_bytes >= expected_bytes:
+            if report.completion_time_s is None:
+                report.completion_time_s = sim.now
+            return
+        sim.schedule(0.25, _watch_completion)
+
+    sim.schedule(0.25, _watch_completion)
+    connection.start()
+    sim.run(until=duration_s)
+
+    report.delivered_bytes = connection.delivered_bytes
+    report.delivered_units = len(delivered_ids)
+    report.completed = report.delivered_bytes >= expected_bytes
+    report.path_downs = controller.path_downs
+    report.path_ups = controller.path_ups
+    report.handovers = controller.handovers
+
+    # Invariant 1: exactly-once, in-order delivery across every removal.
+    if delivered_ids != list(range(len(delivered_ids))):
+        report.violations.append(
+            f"delivery not exactly-once/in-order: got {len(delivered_ids)} units, "
+            f"first disorder near index "
+            f"{next((i for i, v in enumerate(delivered_ids) if v != i), -1)}"
+        )
+    if report.completed and report.delivered_units != expected_units:
+        report.violations.append(
+            f"unit count mismatch: delivered {report.delivered_units}, "
+            f"expected {expected_units}"
+        )
+
+    # Invariant 2: no wedged timers on the survivors.
+    _check_timers(connection, "at end", report.violations)
+
+    # Invariant 3: completion despite permanent path loss.
+    if not report.completed:
+        report.violations.append(
+            f"transfer incomplete on surviving paths: "
+            f"{report.delivered_bytes}/{expected_bytes} bytes "
+            f"after {duration_s:.0f}s"
+        )
+
+    # Invariant 4: goodput recovers within the window of the last re-add.
+    has_readd = any(e.kind in ("path_up", "handover") for e in scenario.events)
+    if has_readd:
+        settle = scenario.settle_time
+        series = metrics.goodput.series(duration_s)
+        pre = mean(
+            [rate for t, rate in series if 1.0 <= t < scenario.fault_start] or [0.0]
+        )
+        report.pre_churn_mbps = pre
+        threshold = recovery_fraction * pre
+        for t, rate in series:
+            if t >= settle and rate >= threshold:
+                report.recovered_at_s = t
+                break
+        finished_inside_window = (
+            report.completion_time_s is not None
+            and report.completion_time_s <= settle + recovery_window_s
+        )
+        recovered_inside_window = (
+            report.recovered_at_s is not None
+            and report.recovered_at_s <= settle + recovery_window_s
+        )
+        if not (finished_inside_window or recovered_inside_window):
+            report.violations.append(
+                f"no goodput recovery within {recovery_window_s:.0f}s of the "
+                f"last path_up (settle t={settle:.1f}s): pre-churn "
+                f"{pre:.3f} MB/s, threshold {threshold:.3f} MB/s"
+            )
+
+    # Invariant 5: the event queue drains once the transfer is done.
+    connection.close()
+    sim.drain_cancelled()
+    if report.completed and sim.pending_events != 0:
+        report.violations.append(
+            f"event queue did not drain: {sim.pending_events} live events "
+            "after completion and close"
+        )
+
+    if flight is not None:
+        if report.violations:
+            os.makedirs(flight_dump_dir, exist_ok=True)
+            slug = scenario.name.replace(":", "-").replace("/", "-")
+            stem = f"flight_{protocol}_{slug}_seed{seed}"
+            dump_path = os.path.join(flight_dump_dir, stem + ".jsonl")
+            flight.dump(
+                dump_path,
+                meta={
+                    "protocol": protocol,
+                    "scenario": scenario.name,
+                    "seed": seed,
+                    "violations": report.violations,
+                },
+            )
+            report.flight_dump_path = dump_path
+            if profiler is not None:
+                profile_path = os.path.join(flight_dump_dir, stem + ".profile.json")
+                with open(profile_path, "w") as handle:
+                    json.dump(profiler.report(), handle, indent=2)
+                report.profile_dump_path = profile_path
+        flight.close()
+        sim.set_profiler(None)
+    return report
+
+
+def measure_churn_response(
+    protocol: str,
+    scenario: FaultScenario,
+    seed: int = 1,
+    duration_s: float = 40.0,
+    bandwidth_bps: float = 4e6,
+    delay_s: float = 0.03,
+    base_loss: float = 0.01,
+    recovery_fraction: float = 0.8,
+) -> FaultBenchResult:
+    """Per-phase goodput of an open-ended transfer through churn.
+
+    Phases: *pre* is [1 s, first event), *during* is [first event, settle)
+    — the churn window including handover blackouts — and *post* runs
+    from settle to the end. For a permanent removal (no re-add) the
+    during window is empty and retention reads 0 by convention; *post*
+    then shows the surviving-path capacity, and ``recovery_s`` stays
+    ``None`` whenever the survivors cannot reach ``recovery_fraction`` of
+    the multi-path baseline — a real capacity loss, not a bug.
+    """
+    if not scenario.has_churn:
+        raise ValueError(
+            f"scenario {scenario.name!r} has no lifecycle events; "
+            "use measure_fault_response for plain link faults"
+        )
+    if duration_s <= scenario.settle_time:
+        raise ValueError(
+            f"duration {duration_s}s leaves no window after the last "
+            f"lifecycle event settles at {scenario.settle_time}s"
+        )
+    trace = TraceBus()
+    configs = [
+        PathConfig(bandwidth_bps=bandwidth_bps, delay_s=delay_s, loss_rate=base_loss)
+        for __ in range(scenario.n_paths)
+    ]
+    network, paths = build_two_path_network(configs, rng=RngStreams(seed), trace=trace)
+    sim = network.sim
+    metrics = MetricsSuite(trace, bin_width_s=1.0)
+    active_paths = [paths[index] for index in scenario.active_paths]
+    connection = _build_connection(
+        protocol, sim, active_paths, BulkSource(), seed, trace, sink=None
+    )
+    for index, path in enumerate(paths):
+        if index not in scenario.active_paths:
+            network.detach_path(path)
+    controller = PathChurnController(
+        sim,
+        paths,
+        connection,
+        network=network,
+        active_paths=scenario.active_paths,
+        trace=trace,
+    )
+    scenario.apply(sim, paths, trace=trace, lifecycle=controller)
+    connection.start()
+    sim.run(until=duration_s)
+
+    series = metrics.goodput.series(duration_s)
+    fault_start = scenario.fault_start
+    settle = scenario.settle_time
+
+    def phase_mean(lo: float, hi: float) -> float:
+        rates = [rate for t, rate in series if lo <= t < hi]
+        return mean(rates) if rates else 0.0
+
+    pre = phase_mean(1.0, fault_start)
+    during = phase_mean(fault_start, settle)
+    post = phase_mean(settle, duration_s)
+    recovery: Optional[float] = None
+    threshold = recovery_fraction * pre
+    for t, rate in series:
+        if t >= settle and rate >= threshold:
+            recovery = t - settle
+            break
+    connection.close()
+    return FaultBenchResult(
+        protocol=protocol,
+        scenario_name=scenario.name,
+        duration_s=duration_s,
+        pre_mbps=pre,
+        during_mbps=during,
+        post_mbps=post,
+        retention=during / pre if pre > 0 else 0.0,
+        recovery_s=recovery,
+    )

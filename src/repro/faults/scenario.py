@@ -44,7 +44,22 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.trace import TraceBus
 
-FAULT_KINDS = ("down", "up", "bandwidth", "delay", "loss", "reorder", "queue")
+#: Subflow-lifecycle event kinds (mobility): unlike link faults, which the
+#: transport merely *suffers*, these are visible path management — the
+#: endpoint tears the subflow down / builds a new one. They need a
+#: lifecycle handler (see :class:`FaultInjector`), typically
+#: :class:`repro.faults.churn.PathChurnController`.
+CHURN_KINDS = ("path_down", "path_up", "handover")
+
+FAULT_KINDS = (
+    "down",
+    "up",
+    "bandwidth",
+    "delay",
+    "loss",
+    "reorder",
+    "queue",
+) + CHURN_KINDS
 
 
 @dataclass(frozen=True)
@@ -66,12 +81,32 @@ class FaultEvent:
             raise ValueError(f"path index must be non-negative, got {self.path}")
         if self.direction not in ("forward", "reverse", "both"):
             raise ValueError(f"unknown direction {self.direction!r}")
+        if self.kind == "handover":
+            try:
+                to_path, break_s = self.value
+            except (TypeError, ValueError):
+                raise ValueError(
+                    "handover value must be a (to_path, break_s) pair, "
+                    f"got {self.value!r}"
+                ) from None
+            if int(to_path) < 0 or float(break_s) < 0:
+                raise ValueError(
+                    f"handover needs to_path >= 0 and break_s >= 0, got {self.value!r}"
+                )
+        elif self.kind in ("path_down", "path_up") and self.value is not None:
+            raise ValueError(f"{self.kind} takes no value, got {self.value!r}")
 
 
 class FaultScenario:
     """A named, sorted fault timeline over an ``n_paths``-path topology."""
 
-    def __init__(self, name: str, events: Sequence[FaultEvent], n_paths: int = 2):
+    def __init__(
+        self,
+        name: str,
+        events: Sequence[FaultEvent],
+        n_paths: int = 2,
+        active_paths: Optional[Sequence[int]] = None,
+    ):
         if n_paths < 1:
             raise ValueError("n_paths must be >= 1")
         for event in events:
@@ -79,6 +114,22 @@ class FaultScenario:
                 raise ValueError(
                     f"event targets path {event.path} but scenario has "
                     f"{n_paths} paths"
+                )
+            if event.kind == "handover" and int(event.value[0]) >= n_paths:
+                raise ValueError(
+                    f"handover targets path {event.value[0]} but scenario "
+                    f"has {n_paths} paths"
+                )
+        if active_paths is None:
+            self.active_paths: Tuple[int, ...] = tuple(range(n_paths))
+        else:
+            self.active_paths = tuple(sorted(set(active_paths)))
+            if not self.active_paths or any(
+                p < 0 or p >= n_paths for p in self.active_paths
+            ):
+                raise ValueError(
+                    f"active_paths must be a non-empty subset of "
+                    f"0..{n_paths - 1}, got {active_paths!r}"
                 )
         self.name = name
         self.n_paths = n_paths
@@ -97,25 +148,46 @@ class FaultScenario:
         """When the last event has applied and the network is clean again."""
         return self.events[-1].time if self.events else 0.0
 
+    @property
+    def has_churn(self) -> bool:
+        """Whether any event manages subflow lifecycle (needs a handler)."""
+        return any(event.kind in CHURN_KINDS for event in self.events)
+
+    @property
+    def settle_time(self) -> float:
+        """When the last lifecycle change has landed.
+
+        Same as :attr:`heal_time` except that a ``handover`` only settles
+        once its blackout gap has elapsed and the target path is up.
+        """
+        settle = 0.0
+        for event in self.events:
+            end = event.time
+            if event.kind == "handover":
+                end += float(event.value[1])
+            settle = max(settle, end)
+        return settle
+
     def apply(
         self,
         sim: Simulator,
         paths: Sequence[Path],
         trace: Optional[TraceBus] = None,
+        lifecycle=None,
     ) -> "FaultInjector":
         """Arm the timeline against a topology; returns the injector."""
-        return FaultInjector(sim, paths, self, trace=trace)
+        return FaultInjector(sim, paths, self, trace=trace, lifecycle=lifecycle)
 
     # ------------------------------------------------------------------
     # Constructors.
     # ------------------------------------------------------------------
     @classmethod
     def named(cls, name: str) -> "FaultScenario":
-        """Build one of the preset scenarios (see :data:`SCENARIOS`)."""
-        try:
-            factory = SCENARIOS[name]
-        except KeyError:
-            known = ", ".join(sorted(SCENARIOS))
+        """Build one of the preset scenarios (:data:`SCENARIOS` link
+        faults or :data:`MOBILITY_SCENARIOS` subflow churn)."""
+        factory = SCENARIOS.get(name) or MOBILITY_SCENARIOS.get(name)
+        if factory is None:
+            known = ", ".join(sorted({**SCENARIOS, **MOBILITY_SCENARIOS}))
             raise ValueError(f"unknown scenario {name!r} (known: {known})") from None
         return factory()
 
@@ -200,6 +272,18 @@ class FaultInjector:
     Baselines are captured at arm time, so restore events (``factor=1.0``,
     ``value=None``) return each link to exactly its pre-fault settings no
     matter how many faults stacked on it in between.
+
+    Lifecycle events (:data:`CHURN_KINDS`) are not link mutations — they
+    are delegated to ``lifecycle``, an object with ``path_down(index)``,
+    ``path_up(index)`` and ``handover(from_path, to_path, break_s)``
+    methods (see :class:`repro.faults.churn.PathChurnController`). Arming
+    a churn scenario without one is an error.
+
+    Overlap diagnosis: two non-restoring faults of the same kind on the
+    same link apply last-writer-wins by design — legal, but a frequent
+    scenario-authoring mistake. The injector records each such pair in
+    :attr:`overlaps` and emits a ``fault.overlap`` trace record so the
+    timeline shows where a fault silently clobbered an earlier one.
     """
 
     def __init__(
@@ -208,17 +292,27 @@ class FaultInjector:
         paths: Sequence[Path],
         scenario: FaultScenario,
         trace: Optional[TraceBus] = None,
+        lifecycle=None,
     ):
         if len(paths) < scenario.n_paths:
             raise ValueError(
                 f"scenario {scenario.name!r} needs {scenario.n_paths} paths, "
                 f"got {len(paths)}"
             )
+        if scenario.has_churn and lifecycle is None:
+            raise ValueError(
+                f"scenario {scenario.name!r} contains subflow-lifecycle "
+                "events; arm it with a lifecycle handler "
+                "(repro.faults.churn.PathChurnController)"
+            )
         self.sim = sim
         self.paths = list(paths)
         self.scenario = scenario
         self.trace = trace
+        self.lifecycle = lifecycle
         self.applied: List[FaultEvent] = []
+        self.overlaps: List[Tuple[FaultEvent, FaultEvent]] = []
+        self._active_faults: Dict[Tuple[int, str], FaultEvent] = {}
         self._baselines: Dict[int, _LinkBaseline] = {}
         for path in self.paths:
             for link in (*path.forward_links, *path.reverse_links):
@@ -240,7 +334,65 @@ class FaultInjector:
             return path.reverse_links
         return (*path.forward_links, *path.reverse_links)
 
+    @staticmethod
+    def _is_restore(event: FaultEvent) -> bool:
+        """Whether the event returns its link setting to baseline."""
+        if event.kind == "up":
+            return True
+        if event.kind in ("bandwidth", "delay"):
+            return float(event.value) == 1.0
+        if event.kind in ("loss", "reorder", "queue"):
+            return event.value is None
+        return False  # "down" always degrades
+
+    def _note_overlap(self, event: FaultEvent) -> None:
+        """Record last-writer-wins collisions of same-kind link faults."""
+        base_kind = "down" if event.kind in ("down", "up") else event.kind
+        restoring = self._is_restore(event)
+        clobbered: List[FaultEvent] = []
+        for link in self._links_of(event):
+            key = (id(link), base_kind)
+            if restoring:
+                self._active_faults.pop(key, None)
+                continue
+            previous = self._active_faults.get(key)
+            if previous is not None and previous is not event:
+                if previous not in clobbered:
+                    clobbered.append(previous)
+            self._active_faults[key] = event
+        for previous in clobbered:
+            self.overlaps.append((previous, event))
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "fault.overlap",
+                    fault=event.kind,
+                    path=event.path,
+                    value=event.value,
+                    clobbered_time=previous.time,
+                    clobbered_value=previous.value,
+                )
+
     def _apply(self, event: FaultEvent) -> None:
+        if event.kind in CHURN_KINDS:
+            if event.kind == "path_down":
+                self.lifecycle.path_down(event.path)
+            elif event.kind == "path_up":
+                self.lifecycle.path_up(event.path)
+            else:
+                to_path, break_s = event.value
+                self.lifecycle.handover(event.path, int(to_path), float(break_s))
+            self.applied.append(event)
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "fault.apply",
+                    fault=event.kind,
+                    path=event.path,
+                    value=event.value,
+                )
+            return
+        self._note_overlap(event)
         for link in self._links_of(event):
             baseline = self._baselines[id(link)]
             if event.kind == "down":
@@ -346,6 +498,49 @@ SCENARIOS: Dict[str, Callable[[], FaultScenario]] = {
     "loss_burst": _loss_burst,
     "reorder_storm": _reorder_storm,
     "queue_saturation": _queue_saturation,
+}
+
+
+# ----------------------------------------------------------------------
+# Mobility presets: subflow-lifecycle timelines. Kept in their own
+# registry because they cannot run through the plain link-fault harness
+# (run_chaos) — they need a lifecycle handler and the churn invariants of
+# repro.faults.churn.run_churn.
+# ----------------------------------------------------------------------
+def _wifi_to_lte_handover() -> FaultScenario:
+    # Path 0 is the "WiFi" association the transfer starts on; path 1
+    # ("LTE") exists but is unused until the handover at t=8 s, which
+    # breaks connectivity for 300 ms while the new attachment comes up.
+    return FaultScenario(
+        "wifi_to_lte_handover",
+        [FaultEvent(8.0, "handover", 0, (1, 0.3))],
+        n_paths=2,
+        active_paths=(0,),
+    )
+
+
+def _flaky_path_churn() -> FaultScenario:
+    # Path 1 flaps at the subflow level: repeatedly torn down and re-added
+    # (each re-add pays a fresh join handshake), path 0 stays clean.
+    events = []
+    for down, up in ((8.0, 10.0), (12.0, 14.0), (16.0, 18.0)):
+        events.append(FaultEvent(down, "path_down", 1))
+        events.append(FaultEvent(up, "path_up", 1))
+    return FaultScenario("flaky_path_churn", events)
+
+
+def _single_path_degradation() -> FaultScenario:
+    # Path 1 is removed permanently at t=8 s; the transfer must finish on
+    # the surviving path alone.
+    return FaultScenario(
+        "single_path_degradation", [FaultEvent(8.0, "path_down", 1)]
+    )
+
+
+MOBILITY_SCENARIOS: Dict[str, Callable[[], FaultScenario]] = {
+    "wifi_to_lte_handover": _wifi_to_lte_handover,
+    "flaky_path_churn": _flaky_path_churn,
+    "single_path_degradation": _single_path_degradation,
 }
 
 

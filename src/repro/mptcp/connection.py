@@ -118,45 +118,22 @@ class MptcpConnection(SubflowOwner):
 
         self.subflows: List[Subflow] = []
         self._sinks: List[SubflowSink] = []
-        lia_group = LiaGroup() if self.config.congestion == "lia" else None
-        for index, path in enumerate(paths):
-            controller = make_controller(
-                self.config.congestion,
-                lia_group=lia_group,
-                rtt_provider=(lambda i=index: self.subflows[i].srtt),
-                initial_cwnd=self.config.initial_cwnd,
-            )
-            subflow = Subflow(
-                sim=sim,
-                path=path,
-                owner=self,
-                subflow_id=index,
-                congestion=controller,
-                rto=RtoEstimator(min_rto=self.config.min_rto),
-                mss=self.config.mss,
-                dup_ack_threshold=self.config.dup_ack_threshold,
-                trace=trace,
-                failed_rto_threshold=self.config.failover_rto_threshold,
-            )
-            self.subflows.append(subflow)
-            self._sinks.append(
-                SubflowSink(
-                    sim=sim,
-                    path=path,
-                    subflow=subflow,
-                    on_segment=self._receiver_on_segment,
-                    feedback_provider=self._receiver_feedback,
-                    trace=trace,
-                )
-            )
+        self._subflow_by_id: Dict[int, Subflow] = {}
+        self._sink_by_id: Dict[int, SubflowSink] = {}
+        self._next_subflow_id = 0
+        self._retx_queues: Dict[int, Deque[Chunk]] = {}
+        self._lia_group = LiaGroup() if self.config.congestion == "lia" else None
+        for path in paths:
+            self._attach(path, join_delay_s=None)
 
         # ---- sender state ----
         self._next_dsn = 0
         self._data_acked = 0
         self._chunk_sizes: Dict[int, int] = {}
-        self._retx_queues: Dict[int, Deque[Chunk]] = {
-            subflow.subflow_id: deque() for subflow in self.subflows
-        }
+        # Chunks owed when a subflow is removed with no live survivor to
+        # take them; drained (ahead of fresh data) by whichever subflow
+        # next has a transmission opportunity.
+        self._orphan_chunks: Deque[Chunk] = deque()
         self._block_first_tx: Dict[int, float] = {}
         self._pulled_stream_bytes = 0
         self._completed_blocks = 0
@@ -175,6 +152,46 @@ class MptcpConnection(SubflowOwner):
         self.delivered_bytes = 0
         self.delivered_chunks = 0
 
+    def _attach(self, path: Path, join_delay_s: Optional[float]) -> Subflow:
+        """Build one subflow + its receiver sink and register both."""
+        subflow_id = self._next_subflow_id
+        self._next_subflow_id += 1
+        controller = make_controller(
+            self.config.congestion,
+            lia_group=self._lia_group,
+            rtt_provider=(lambda: 0.0),  # rebound to the subflow below
+            initial_cwnd=self.config.initial_cwnd,
+        )
+        subflow = Subflow(
+            sim=self.sim,
+            path=path,
+            owner=self,
+            subflow_id=subflow_id,
+            congestion=controller,
+            rto=RtoEstimator(min_rto=self.config.min_rto),
+            mss=self.config.mss,
+            dup_ack_threshold=self.config.dup_ack_threshold,
+            trace=self.trace,
+            failed_rto_threshold=self.config.failover_rto_threshold,
+            join_delay_s=join_delay_s,
+        )
+        if hasattr(controller, "rtt_provider"):
+            controller.rtt_provider = lambda sf=subflow: sf.srtt
+        self.subflows.append(subflow)
+        self._subflow_by_id[subflow_id] = subflow
+        self._retx_queues[subflow_id] = deque()
+        sink = SubflowSink(
+            sim=self.sim,
+            path=path,
+            subflow=subflow,
+            on_segment=self._receiver_on_segment,
+            feedback_provider=self._receiver_feedback,
+            trace=self.trace,
+        )
+        self._sinks.append(sink)
+        self._sink_by_id[subflow_id] = sink
+        return subflow
+
     # ------------------------------------------------------------------
     # Lifecycle.
     # ------------------------------------------------------------------
@@ -192,6 +209,89 @@ class MptcpConnection(SubflowOwner):
             subflow.close()
         for sink in self._sinks:
             sink.close()
+
+    # ------------------------------------------------------------------
+    # Runtime subflow lifecycle.
+    # ------------------------------------------------------------------
+    def add_subflow(
+        self, path: Path, join_delay_s: Optional[float] = None
+    ) -> Subflow:
+        """Attach a new path mid-transfer (MP_JOIN).
+
+        The subflow spends ``join_delay_s`` (default: one RTT of the path)
+        in JOINING — it pulls no data and reserves no waterfall credit —
+        then goes ACTIVE and enters the scheduler's preference order.
+        """
+        if join_delay_s is None:
+            join_delay_s = 2.0 * path.one_way_delay_s
+        subflow = self._attach(path, join_delay_s=join_delay_s)
+        if self.trace is not None and self.trace.has_subscribers("conn.subflow_added"):
+            self.trace.emit(
+                self.sim.now,
+                "conn.subflow_added",
+                subflow=subflow.subflow_id,
+                path=path.name,
+                handshake_s=join_delay_s,
+            )
+        return subflow
+
+    def remove_subflow(self, subflow_id: int) -> int:
+        """Detach a subflow mid-transfer and reinject everything it owed.
+
+        Unlike FMTCP — where abandoned symbols are simply written off and
+        fresh ones generated — MPTCP owes the receiver these exact bytes:
+        every unacked chunk the subflow had in flight or queued for
+        retransmission is moved to the best live subflow (updating the
+        chunk registry so ORP and probes keep pointing at a live carrier),
+        or parked in the orphan queue if no live subflow remains. The
+        scheduler's preference order and the waterfall credit reservations
+        rebalance automatically because both iterate the live subflow
+        list. Returns the number of chunks reinjected/orphaned.
+        """
+        subflow = self._subflow_by_id.pop(subflow_id, None)
+        if subflow is None:
+            raise ValueError(f"unknown subflow id {subflow_id}")
+        sink = self._sink_by_id.pop(subflow_id)
+        infos = subflow.shutdown()
+        sink.close()
+        if self._lia_group is not None:
+            self._lia_group.unregister(subflow.cc)
+        self.subflows.remove(subflow)
+        self._sinks.remove(sink)
+        queue = self._retx_queues.pop(subflow_id)
+
+        # Collect unacked chunks, deduplicating (a chunk declared lost sits
+        # in the retx queue while a later copy may also be in flight).
+        owed: Dict[int, Chunk] = {}
+        for info in infos:
+            chunk: Chunk = info.payload
+            if chunk.dsn >= self._data_acked:
+                owed.setdefault(chunk.dsn, chunk)
+        for chunk in queue:
+            if chunk.dsn >= self._data_acked:
+                owed.setdefault(chunk.dsn, chunk)
+
+        live = [s for s in self.subflows if s.usable]
+        target = min(live, key=lambda s: (s.srtt, s.subflow_id)) if live else None
+        for chunk in owed.values():
+            if target is not None:
+                self._retx_queues[target.subflow_id].append(chunk)
+                self._chunk_registry[chunk.dsn] = (target.subflow_id, chunk)
+            else:
+                self._orphan_chunks.append(chunk)
+        if owed:
+            self.chunks_reinjected += len(owed)
+        if self.trace is not None and self.trace.has_subscribers(
+            "conn.subflow_removed"
+        ):
+            self.trace.emit(
+                self.sim.now,
+                "conn.subflow_removed",
+                subflow=subflow_id,
+                reinjected=len(owed),
+            )
+        self.pump()
+        return len(owed)
 
     # ------------------------------------------------------------------
     # Sender side: SubflowOwner interface.
@@ -219,6 +319,17 @@ class MptcpConnection(SubflowOwner):
             self.chunks_probe_duplicates += 1
             return chunk, chunk.size
 
+        # Chunks orphaned by a subflow removed during total blackout are
+        # owed before any fresh data (the reorder buffer is blocked on
+        # exactly these DSNs).
+        while self._orphan_chunks:
+            chunk = self._orphan_chunks.popleft()
+            if chunk.dsn < self._data_acked:
+                continue
+            self.chunks_retransmitted += 1
+            self._chunk_registry[chunk.dsn] = (subflow.subflow_id, chunk)
+            return chunk, chunk.size
+
         credit = self.config.recv_buffer_chunks - (self._next_dsn - self._data_acked)
         if credit <= 0:
             if self.config.opportunistic_retransmission:
@@ -235,7 +346,7 @@ class MptcpConnection(SubflowOwner):
         for candidate in self.scheduler.preference_order(self.subflows):
             if candidate is subflow:
                 break
-            if not candidate.potentially_failed:
+            if candidate.usable:
                 reserved += candidate.window_space
         if credit <= reserved:
             return None
@@ -297,9 +408,10 @@ class MptcpConnection(SubflowOwner):
         if hol_dsn == self._orp_last_dsn:
             return None  # already reinjected this head-of-line chunk
         self._orp_last_dsn = hol_dsn
-        blocker = self.subflows[blocker_id]
-        blocker.cc.on_fast_loss()  # the penalisation half of ORP
-        self.orp_penalties += 1
+        blocker = self._subflow_by_id.get(blocker_id)
+        if blocker is not None:
+            blocker.cc.on_fast_loss()  # the penalisation half of ORP
+            self.orp_penalties += 1
         self.orp_reinjections += 1
         self._chunk_registry[hol_dsn] = (subflow.subflow_id, chunk)
         return chunk, chunk.size
@@ -316,9 +428,7 @@ class MptcpConnection(SubflowOwner):
         connection (the reorder buffer is blocked on exactly these DSNs).
         """
         self.failover_events += 1
-        live = [
-            s for s in self.subflows if s is not subflow and not s.potentially_failed
-        ]
+        live = [s for s in self.subflows if s is not subflow and s.usable]
         if not live:
             return  # Total blackout: every path probes for itself.
         target = min(live, key=lambda s: (s.srtt, s.subflow_id))
@@ -340,9 +450,14 @@ class MptcpConnection(SubflowOwner):
         # other subflows' waterfall reservations change too.
         self.pump()
 
+    def on_subflow_ready(self, subflow: Subflow) -> None:
+        # MP_JOIN completed: the subflow now counts in the waterfall and
+        # may pull orphaned or fresh chunks.
+        self.pump()
+
     def _best_other_subflow(self, excluded: Subflow) -> Subflow:
         candidates = [s for s in self.subflows if s is not excluded]
-        live = [s for s in candidates if not s.potentially_failed]
+        live = [s for s in candidates if s.usable]
         return min(live or candidates, key=lambda s: (s.srtt, s.subflow_id))
 
     # ------------------------------------------------------------------

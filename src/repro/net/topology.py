@@ -207,6 +207,66 @@ class Network:
                 frontier.append(neighbour)
         raise ValueError(f"no route from {src!r} to {dst!r}")
 
+    def attach_path(
+        self, index: int, config: PathConfig, src: str = "src", dst: str = "dst"
+    ) -> Path:
+        """Attach one direct duplex path between two existing hosts.
+
+        Works both at build time (``build_two_path_network`` routes its
+        non-router branch through here) and at runtime — mobility
+        scenarios attach a brand-new path mid-simulation, then hand it to
+        ``Connection.add_subflow``. Link names (``src->dst#i``) and RNG
+        stream names (``loss:path{i}:fwd``) are derived from ``index``
+        only, so a path's loss realisation is identical whether it existed
+        from t=0 or appeared later.
+        """
+        loss_forward = config.make_loss_model()
+        loss_reverse = config.make_loss_model() if config.lossy_reverse else NoLoss()
+        forward = Link(
+            sim=self.sim,
+            name=f"{src}->{dst}#{index}",
+            dst_node=self.nodes[dst],
+            bandwidth_bps=config.bandwidth_bps,
+            delay_s=config.delay_s,
+            loss_model=loss_forward,
+            queue=config.make_queue(),
+            rng=self.rng.get(f"loss:path{index}:fwd"),
+            trace=self.trace,
+        )
+        reverse = Link(
+            sim=self.sim,
+            name=f"{dst}->{src}#{index}",
+            dst_node=self.nodes[src],
+            bandwidth_bps=config.bandwidth_bps,
+            delay_s=config.delay_s,
+            loss_model=loss_reverse,
+            queue=DropTailQueue(config.queue_capacity),
+            rng=self.rng.get(f"loss:path{index}:rev"),
+            trace=self.trace,
+        )
+        self.links.extend([forward, reverse])
+        return Path(
+            name=f"path{index}",
+            src_node=self.nodes[src],
+            dst_node=self.nodes[dst],
+            forward_links=[forward],
+            reverse_links=[reverse],
+        )
+
+    def detach_path(self, path: Path) -> None:
+        """Administratively remove a path: down its links, drop them here.
+
+        Packets already serialising or propagating are lost (cable-pull
+        semantics, same as ``Link.set_down``); the Path object stays valid
+        so a later :meth:`attach_path` with the same index — or simply
+        re-raising the links — can bring the route back.
+        """
+        for link in (*path.forward_links, *path.reverse_links):
+            if not link.is_down:
+                link.set_down(True)
+            if link in self.links:
+                self.links.remove(link)
+
     def make_path(self, name: str, node_names: Sequence[str]) -> Path:
         """Build a duplex :class:`Path` along an explicit chain of nodes."""
         if len(node_names) < 2:
@@ -292,9 +352,11 @@ def build_two_path_network(
     network.add_node("dst")
     paths: List[Path] = []
     for index, config in enumerate(path_configs):
-        loss_forward = config.make_loss_model()
-        loss_reverse = config.make_loss_model() if config.lossy_reverse else NoLoss()
         if with_edge_routers:
+            loss_forward = config.make_loss_model()
+            loss_reverse = (
+                config.make_loss_model() if config.lossy_reverse else NoLoss()
+            )
             router = f"r{index}"
             network.add_node(router)
             network.add_duplex_link(
@@ -311,36 +373,5 @@ def build_two_path_network(
             )
             paths.append(network.make_path(f"path{index}", ["src", router, "dst"]))
         else:
-            forward = Link(
-                sim=network.sim,
-                name=f"src->dst#{index}",
-                dst_node=network.nodes["dst"],
-                bandwidth_bps=config.bandwidth_bps,
-                delay_s=config.delay_s,
-                loss_model=loss_forward,
-                queue=config.make_queue(),
-                rng=network.rng.get(f"loss:path{index}:fwd"),
-                trace=network.trace,
-            )
-            reverse = Link(
-                sim=network.sim,
-                name=f"dst->src#{index}",
-                dst_node=network.nodes["src"],
-                bandwidth_bps=config.bandwidth_bps,
-                delay_s=config.delay_s,
-                loss_model=loss_reverse,
-                queue=DropTailQueue(config.queue_capacity),
-                rng=network.rng.get(f"loss:path{index}:rev"),
-                trace=network.trace,
-            )
-            network.links.extend([forward, reverse])
-            paths.append(
-                Path(
-                    name=f"path{index}",
-                    src_node=network.nodes["src"],
-                    dst_node=network.nodes["dst"],
-                    forward_links=[forward],
-                    reverse_links=[reverse],
-                )
-            )
+            paths.append(network.attach_path(index, config))
     return network, paths

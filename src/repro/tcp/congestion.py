@@ -96,6 +96,17 @@ class LiaGroup:
     def register(self, controller: "LiaCoupledController") -> None:
         self._members.append(controller)
 
+    def unregister(self, controller: "CongestionController") -> None:
+        """Drop a member whose subflow was removed (no-op if absent).
+
+        Accepts any controller so connection teardown can call it without
+        first checking the coupling kind; only LIA members are tracked.
+        """
+        try:
+            self._members.remove(controller)  # type: ignore[arg-type]
+        except ValueError:
+            pass
+
     def total_cwnd(self) -> float:
         return sum(member.cwnd for member in self._members)
 

@@ -35,6 +35,9 @@ from repro.tcp.rto import RtoEstimator
 HEADER_BYTES = 40
 ACK_BYTES = 40
 
+#: Lifecycle states reported by :attr:`Subflow.state`.
+SUBFLOW_STATES = ("joining", "active", "suspect", "closed")
+
 
 class SubflowSegment:
     """Wire payload of a data packet."""
@@ -105,6 +108,10 @@ class SubflowOwner:
         """A previously-suspect subflow saw an ACK again: the path is
         alive and may rejoin normal scheduling."""
 
+    def on_subflow_ready(self, subflow: "Subflow") -> None:
+        """A JOINING subflow finished its handshake and became ACTIVE:
+        it may now be pumped and counted by the scheduler."""
+
 
 class Subflow:
     """Sender endpoint of one subflow."""
@@ -122,11 +129,14 @@ class Subflow:
         loss_ewma_gain: float = 0.05,
         trace: Optional[TraceBus] = None,
         failed_rto_threshold: Optional[int] = None,
+        join_delay_s: Optional[float] = None,
     ):
         if failed_rto_threshold is not None and failed_rto_threshold < 1:
             raise ValueError(
                 f"failed_rto_threshold must be >= 1, got {failed_rto_threshold}"
             )
+        if join_delay_s is not None and join_delay_s < 0:
+            raise ValueError(f"join_delay_s must be >= 0, got {join_delay_s}")
         self.sim = sim
         self.path = path
         self.owner = owner
@@ -150,6 +160,22 @@ class Subflow:
         self._declared_lost: set = set()
         self._recovery_until = -1
         self._timer = Timer(sim, self._on_rto, name=f"rto[{subflow_id}]")
+
+        # Lifecycle: JOINING (handshake pending) -> ACTIVE -> CLOSED, with
+        # SUSPECT (potentially_failed) overlaying ACTIVE. join_delay_s=None
+        # skips the handshake entirely: the subflow is born ACTIVE, which
+        # is what static connection construction uses.
+        self._closed = False
+        self._join_event = None
+        if join_delay_s is not None:
+            self._join_event = sim.schedule(join_delay_s, self._complete_join)
+            if trace is not None and trace.has_subscribers("subflow.join"):
+                trace.emit(
+                    sim.now,
+                    "subflow.join",
+                    subflow=subflow_id,
+                    handshake_s=join_delay_s,
+                )
 
         # Dead-path detection: consecutive RTO firings with no intervening
         # ACK. At failed_rto_threshold the subflow enters probe mode.
@@ -215,6 +241,34 @@ class Subflow:
         )
 
     @property
+    def state(self) -> str:
+        """Lifecycle state, derived so it can never disagree with behaviour.
+
+        ``closed`` dominates, then ``joining`` (handshake pending), then
+        ``suspect`` (consecutive-RTO threshold), else ``active``.
+        """
+        if self._closed:
+            return "closed"
+        if self._join_event is not None:
+            return "joining"
+        if self.potentially_failed:
+            return "suspect"
+        return "active"
+
+    @property
+    def is_joining(self) -> bool:
+        return self._join_event is not None
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
+
+    @property
+    def usable(self) -> bool:
+        """Whether schedulers should count on this subflow right now."""
+        return not self._closed and self._join_event is None and not self.potentially_failed
+
+    @property
     def timer_armed(self) -> bool:
         """Whether the retransmission timer is pending (invariant checks)."""
         return self._timer.armed
@@ -241,6 +295,8 @@ class Subflow:
         new probe, so a dead path costs one packet per back-off period
         rather than a whole congestion window.
         """
+        if self._closed or self._join_event is not None:
+            return
         while self.cc.can_send(self.in_flight):
             if self.potentially_failed and self.in_flight >= 1:
                 return
@@ -249,6 +305,13 @@ class Subflow:
                 return
             payload, size = supplied
             self._transmit(payload, size)
+
+    def _complete_join(self) -> None:
+        self._join_event = None
+        if self.trace is not None and self.trace.has_subscribers("subflow.active"):
+            self.trace.emit(self.sim.now, "subflow.active", subflow=self.subflow_id)
+        self.owner.on_subflow_ready(self)
+        self.pump()
 
     def _transmit(self, payload: Any, size: int) -> None:
         if size <= 0 or size > self.mss:
@@ -418,7 +481,38 @@ class Subflow:
     def close(self) -> None:
         """Stop timers and release the port (ends a simulation cleanly)."""
         self._timer.stop()
+        if self._join_event is not None:
+            self._join_event.cancel()
+            self._join_event = None
+        self._closed = True
         self.src_node.unbind(self.src_port)
+
+    def shutdown(self):
+        """Tear down at runtime and return the drained in-flight packets.
+
+        Unlike :meth:`close` (end-of-simulation cleanup), shutdown is the
+        CLOSED transition of a live transfer: timers and the pending join
+        handshake are cancelled, the ACK port is unbound (late ACKs become
+        undeliverable drops, not callbacks), and every outstanding
+        :class:`SubflowPacketInfo` is handed back — in sequence order — so
+        the owning connection can reallocate the data. No owner loss hooks
+        fire: the packets were not lost to congestion, the path was
+        administratively removed, and the reaction policy belongs to the
+        connection, not the congestion machinery.
+        """
+        infos = [self._outstanding[seq] for seq in sorted(self._outstanding)]
+        self._outstanding.clear()
+        self._declared_lost.clear()
+        self.consecutive_timeouts = 0
+        self.close()
+        if self.trace is not None and self.trace.has_subscribers("subflow.closed"):
+            self.trace.emit(
+                self.sim.now,
+                "subflow.closed",
+                subflow=self.subflow_id,
+                drained=len(infos),
+            )
+        return infos
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -114,6 +114,9 @@ def test_faults_list_command(capsys):
     out = capsys.readouterr().out
     assert "link_flap" in out and "path_death" in out
     assert "random:SEED" in out
+    # Mobility (subflow churn) presets are listed alongside link faults.
+    assert "Mobility presets" in out
+    assert "wifi_to_lte_handover" in out and "flaky_path_churn" in out
 
 
 def test_faults_chaos_command(capsys):
@@ -135,6 +138,20 @@ def test_faults_random_scenario_and_bench(capsys):
     assert "retain" in out and "recov(s)" in out
 
 
-def test_faults_unknown_scenario_raises():
-    with pytest.raises(ValueError):
-        main(["faults", "--scenario", "nonsense"])
+def test_faults_unknown_scenario_exits_2_with_preset_list(capsys):
+    assert main(["faults", "--scenario", "nonsense"]) == 2
+    captured = capsys.readouterr()
+    assert "unknown scenario 'nonsense'" in captured.err
+    # The user gets the full menu instead of a traceback.
+    assert "path_death" in captured.out
+    assert "wifi_to_lte_handover" in captured.out
+
+
+def test_faults_churn_scenario_command(capsys):
+    assert main(
+        ["faults", "--scenario", "single_path_degradation", "--protocol", "mptcp"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Scenario single_path_degradation" in out
+    assert "OK" in out
+    assert "downs" in out  # churn reports show lifecycle counters

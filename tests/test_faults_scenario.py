@@ -1,11 +1,16 @@
 """Unit tests for the fault-injection subsystem: link mutations,
-reordering models, fault timelines and the injector."""
+reordering models, fault timelines, the injector, overlap diagnosis and
+subflow-lifecycle (churn) events."""
 
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.faults import (
+    CHURN_KINDS,
+    MOBILITY_SCENARIOS,
     SCENARIOS,
     FaultEvent,
     FaultScenario,
@@ -316,3 +321,221 @@ def test_injector_rejects_too_few_paths():
     scenario = FaultScenario("big", [FaultEvent(1.0, "down", 2)], n_paths=3)
     with pytest.raises(ValueError):
         scenario.apply(network.sim, paths)
+
+
+# ----------------------------------------------------------------------
+# Subflow-lifecycle (churn) events.
+# ----------------------------------------------------------------------
+def test_churn_event_validation():
+    # handover needs a (to_path, break_s) pair ...
+    with pytest.raises(ValueError):
+        FaultEvent(1.0, "handover", 0)
+    with pytest.raises(ValueError):
+        FaultEvent(1.0, "handover", 0, (1, -0.5))
+    with pytest.raises(ValueError):
+        FaultEvent(1.0, "handover", 0, (-1, 0.3))
+    assert FaultEvent(1.0, "handover", 0, (1, 0.3)).kind == "handover"
+    # ... while path_down / path_up take no value at all.
+    with pytest.raises(ValueError):
+        FaultEvent(1.0, "path_down", 0, 0.5)
+    with pytest.raises(ValueError):
+        FaultEvent(1.0, "path_up", 0, 0.5)
+
+
+def test_handover_target_checked_against_n_paths():
+    with pytest.raises(ValueError):
+        FaultScenario("h", [FaultEvent(1.0, "handover", 0, (5, 0.1))], n_paths=2)
+
+
+def test_has_churn_and_settle_time():
+    plain = FaultScenario.named("path_death")
+    assert not plain.has_churn
+    assert plain.settle_time == plain.heal_time
+    churn = FaultScenario(
+        "c", [FaultEvent(2.0, "path_down", 1), FaultEvent(4.0, "handover", 0, (1, 0.7))]
+    )
+    assert churn.has_churn
+    assert set(CHURN_KINDS) == {"path_down", "path_up", "handover"}
+    # A handover only settles once its blackout gap has elapsed.
+    assert churn.settle_time == pytest.approx(4.7)
+    assert churn.heal_time == 4.0
+
+
+def test_active_paths_validation_and_default():
+    scenario = FaultScenario("x", [], n_paths=3)
+    assert scenario.active_paths == (0, 1, 2)
+    scenario = FaultScenario("x", [], n_paths=2, active_paths=(0,))
+    assert scenario.active_paths == (0,)
+    with pytest.raises(ValueError):
+        FaultScenario("x", [], n_paths=2, active_paths=())
+    with pytest.raises(ValueError):
+        FaultScenario("x", [], n_paths=2, active_paths=(0, 5))
+
+
+def test_churn_scenario_requires_lifecycle_handler():
+    network, paths = build_network()
+    scenario = FaultScenario("c", [FaultEvent(1.0, "path_down", 1)])
+    with pytest.raises(ValueError):
+        scenario.apply(network.sim, paths)
+
+
+def test_mobility_presets_are_churn_only():
+    for name in MOBILITY_SCENARIOS:
+        scenario = FaultScenario.named(name)
+        assert scenario.has_churn, name
+        assert all(event.kind in CHURN_KINDS for event in scenario.events), name
+    # The two registries stay disjoint: a preset belongs to one harness.
+    assert not set(MOBILITY_SCENARIOS) & set(SCENARIOS)
+
+
+# ----------------------------------------------------------------------
+# Overlap diagnosis: same-kind faults clobbering each other on one link.
+# ----------------------------------------------------------------------
+def test_injector_records_same_kind_overlap():
+    network, paths = build_network()
+    trace = TraceBus()
+    records = []
+    trace.subscribe("fault.overlap", records.append)
+    scenario = FaultScenario(
+        "clobber",
+        [
+            FaultEvent(1.0, "bandwidth", 1, 0.5),
+            FaultEvent(2.0, "bandwidth", 1, 0.1),  # clobbers the first
+            FaultEvent(3.0, "bandwidth", 1, 1.0),
+        ],
+    )
+    injector = scenario.apply(network.sim, paths, trace=trace)
+    network.sim.run(until=4.0)
+    assert len(injector.overlaps) == 1
+    previous, current = injector.overlaps[0]
+    assert previous.time == 1.0 and current.time == 2.0
+    assert len(records) == 1
+    assert records[0]["fault"] == "bandwidth"
+    assert records[0]["clobbered_time"] == 1.0
+    assert records[0]["clobbered_value"] == 0.5
+
+
+def test_restore_clears_active_fault_so_no_overlap():
+    network, paths = build_network()
+    scenario = FaultScenario(
+        "sequential",
+        [
+            FaultEvent(1.0, "loss", 1, 0.5),
+            FaultEvent(2.0, "loss", 1, None),  # heals before the next hit
+            FaultEvent(3.0, "loss", 1, 0.3),
+            FaultEvent(4.0, "loss", 1, None),
+        ],
+    )
+    injector = scenario.apply(network.sim, paths)
+    network.sim.run(until=5.0)
+    assert injector.overlaps == []
+
+
+def test_down_down_overlap_uses_shared_base_kind():
+    network, paths = build_network()
+    scenario = FaultScenario(
+        "double_down",
+        [
+            FaultEvent(1.0, "down", 0),
+            FaultEvent(2.0, "down", 0),  # path is already down
+            FaultEvent(3.0, "up", 0),
+        ],
+    )
+    injector = scenario.apply(network.sim, paths)
+    network.sim.run(until=4.0)
+    assert len(injector.overlaps) == 1
+
+
+def test_different_paths_and_kinds_never_overlap():
+    network, paths = build_network()
+    scenario = FaultScenario(
+        "disjoint",
+        [
+            FaultEvent(1.0, "bandwidth", 0, 0.5),
+            FaultEvent(1.5, "delay", 0, 4.0),  # different kind, same link
+            FaultEvent(2.0, "bandwidth", 1, 0.5),  # same kind, other path
+            FaultEvent(3.0, "bandwidth", 0, 1.0),
+            FaultEvent(3.0, "delay", 0, 1.0),
+            FaultEvent(3.0, "bandwidth", 1, 1.0),
+        ],
+    )
+    injector = scenario.apply(network.sim, paths)
+    network.sim.run(until=4.0)
+    assert injector.overlaps == []
+
+
+# ----------------------------------------------------------------------
+# Property: event ordering and application are deterministic.
+# ----------------------------------------------------------------------
+_event_strategy = st.one_of(
+    st.tuples(st.just("down"), st.none()),
+    st.tuples(st.just("up"), st.none()),
+    st.tuples(
+        st.just("bandwidth"),
+        st.floats(min_value=0.1, max_value=2.0, allow_nan=False),
+    ),
+    st.tuples(
+        st.just("delay"), st.floats(min_value=0.5, max_value=8.0, allow_nan=False)
+    ),
+    st.tuples(
+        st.just("loss"),
+        st.one_of(
+            st.none(), st.floats(min_value=0.0, max_value=0.9, allow_nan=False)
+        ),
+    ),
+    st.tuples(st.just("queue"), st.one_of(st.none(), st.integers(1, 5))),
+)
+
+
+def _link_state(paths):
+    return [
+        (
+            link.is_down,
+            round(link.bandwidth_bps, 6),
+            round(link.delay_s, 9),
+            type(link.loss_model).__name__,
+            link.queue.capacity,
+        )
+        for path in paths
+        for link in (*path.forward_links, *path.reverse_links)
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            _event_strategy,
+            st.integers(0, 1),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_event_ordering_is_deterministic(raw_events):
+    """Arming the same scenario against two identical topologies applies
+    the events in exactly the same order (stable by time, listed order
+    breaking ties) and leaves the links in exactly the same state."""
+    events = [
+        FaultEvent(time, kind, path, value)
+        for time, (kind, value), path in raw_events
+    ]
+    scenario = FaultScenario("prop", events)
+
+    # Sorting is stable: equal-time events keep their listed order.
+    times = [event.time for event in scenario.events]
+    assert times == sorted(times)
+    for time in set(times):
+        listed = [e for e in events if e.time == time]
+        applied_order = [e for e in scenario.events if e.time == time]
+        assert listed == applied_order
+
+    outcomes = []
+    for __ in range(2):
+        network, paths = build_network()
+        injector = scenario.apply(network.sim, paths)
+        network.sim.run(until=11.0)
+        outcomes.append((list(injector.applied), _link_state(paths)))
+    assert outcomes[0][0] == list(scenario.events)
+    assert outcomes[0] == outcomes[1]

@@ -5,12 +5,16 @@ the anchors with ``python -m repro.experiments.golden`` and review the
 diff of ``golden.json`` like any other code change.
 """
 
+import json
+
 import pytest
 
 from repro.experiments.golden import (
     ANCHORS,
+    GOLDEN_PATH,
     RELATIVE_TOLERANCE,
     load_golden,
+    measure_all,
     measure_anchor,
 )
 
@@ -40,3 +44,46 @@ def test_golden_file_covers_all_anchors():
         for protocol, case_id, duration_s, seed in ANCHORS
     }
     assert keys <= set(GOLDEN)
+
+
+def test_churn_knobs_default_off():
+    """The subflow-lifecycle machinery must be invisible unless asked for:
+    statically built connections are born ACTIVE with every path in play."""
+    from repro.core.config import FmtcpConfig
+    from repro.core.connection import FmtcpConnection
+    from repro.faults import FaultScenario
+    from repro.mptcp.connection import MptcpConnection
+    from repro.net.topology import PathConfig, build_two_path_network
+    from repro.sim.rng import RngStreams
+    from repro.workloads.sources import BulkSource
+
+    import inspect
+
+    from repro.tcp.subflow import Subflow
+
+    assert inspect.signature(Subflow).parameters["join_delay_s"].default is None
+
+    configs = [PathConfig(bandwidth_bps=4e6, delay_s=0.02) for __ in range(2)]
+    network, paths = build_two_path_network(configs, rng=RngStreams(1))
+    for connection in (
+        FmtcpConnection(
+            network.sim, paths, BulkSource(), config=FmtcpConfig(),
+            rng=RngStreams(1),
+        ),
+        MptcpConnection(network.sim, paths, BulkSource()),
+    ):
+        assert all(s.state == "active" for s in connection.subflows)
+        assert all(s.usable for s in connection.subflows)
+        connection.close()
+
+    # Scenarios without an explicit active_paths use every path, exactly
+    # as before the churn extension.
+    assert FaultScenario("x", [], n_paths=2).active_paths == (0, 1)
+
+
+def test_golden_file_is_byte_identical_when_regenerated():
+    """With all churn knobs at their defaults, re-measuring every anchor
+    reproduces ``experiments/golden.json`` byte for byte — zero behaviour
+    drift from the lifecycle machinery."""
+    regenerated = json.dumps(measure_all(), indent=2, sort_keys=True) + "\n"
+    assert regenerated == GOLDEN_PATH.read_text()

@@ -21,6 +21,7 @@ class FakeSubflow:
                  potentially_failed=False):
         self.subflow_id = subflow_id
         self.potentially_failed = potentially_failed
+        self.is_joining = False
         self.srtt = srtt
         self.rto_value = rto
         self.loss_rate_estimate = loss
