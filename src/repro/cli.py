@@ -273,7 +273,7 @@ def cmd_replicate(args: argparse.Namespace) -> None:
 
 
 def _print_fault_scenarios() -> None:
-    from repro.faults import MOBILITY_SCENARIOS, SCENARIOS
+    from repro.faults import CORRUPTION_SCENARIOS, MOBILITY_SCENARIOS, SCENARIOS
 
     print("Preset fault scenarios (also accepts random:SEED):")
     for name in sorted(SCENARIOS):
@@ -289,6 +289,13 @@ def _print_fault_scenarios() -> None:
             f"  {name:>23}: {len(scenario.events)} events, "
             f"churn {scenario.fault_start:.0f}-{scenario.settle_time:.1f}s"
         )
+    print("Corruption presets (data integrity, byte-verified delivery):")
+    for name in sorted(CORRUPTION_SCENARIOS):
+        scenario = CORRUPTION_SCENARIOS[name]()
+        print(
+            f"  {name:>23}: {len(scenario.events)} events, "
+            f"corruption {scenario.fault_start:.0f}-{scenario.heal_time:.0f}s"
+        )
 
 
 def cmd_faults(args: argparse.Namespace) -> Optional[int]:
@@ -298,6 +305,7 @@ def cmd_faults(args: argparse.Namespace) -> Optional[int]:
         resolve_scenario,
         run_chaos,
         run_churn,
+        run_corruption,
     )
 
     if args.scenario == "list":
@@ -319,7 +327,26 @@ def cmd_faults(args: argparse.Namespace) -> Optional[int]:
         f"{duration:.0f}s run, seed {args.seed}"
     )
     for protocol in protocols:
-        if scenario.has_churn:
+        if scenario.has_corruption:
+            report = run_corruption(
+                protocol,
+                scenario,
+                seed=args.seed,
+                duration_s=duration,
+                flight_dump_dir=args.flight_dir,
+            )
+            stats = report.corruption_stats
+            discarded = sum(
+                count
+                for name, count in stats.items()
+                if name not in ("symbols_evicted", "blocks_quarantined")
+            )
+            progress = (
+                f"{report.packets_corrupted} packets corrupted, "
+                f"{discarded} discarded, "
+                f"{stats.get('blocks_quarantined', 0)} blocks quarantined"
+            )
+        elif scenario.has_churn:
             report = run_churn(
                 protocol,
                 scenario,

@@ -14,6 +14,7 @@ k̃_b ≥ k̂_b + log₂(1/δ̂) — at which point rule R1 stops feeding it sym
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.core.config import FmtcpConfig
@@ -37,6 +38,8 @@ class PendingBlock:
         "decoded",
         "symbols_generated",
         "missed",
+        "block_crc",
+        "quarantine_epoch",
     )
 
     def __init__(
@@ -46,12 +49,17 @@ class PendingBlock:
         data_bytes: int,
         payload: Optional[bytes] = None,
         encoder: Optional[BlockEncoder] = None,
+        block_crc: Optional[int] = None,
     ):
         self.block_id = block_id
         self.k = k
         self.data_bytes = data_bytes
         self.payload = payload
         self.encoder = encoder
+        self.block_crc = block_crc
+        # Highest receiver quarantine epoch seen in feedback; k̄ reports
+        # from older epochs describe an evicted basis and are ignored.
+        self.quarantine_epoch = 0
         self.k_bar = 0
         self.in_flight: Dict[int, int] = {}
         self.first_tx_at: Optional[float] = None
@@ -156,9 +164,11 @@ class BlockManager:
         k = max(1, -(-data_bytes // self.config.symbol_size))  # ceil division
         k = min(k, self.config.symbols_per_block)
         encoder = None
+        block_crc = None
         if self.config.coding == "real":
             if payload is None:
                 payload = bytes(data_bytes)
+            block_crc = zlib.crc32(payload)
             if self.config.code == "lt":
                 encoder = LtEncoder(
                     payload, k=k, part_size=self.config.symbol_size, rng=self._rng
@@ -179,6 +189,7 @@ class BlockManager:
             data_bytes=data_bytes,
             payload=payload,
             encoder=encoder,
+            block_crc=block_crc,
         )
         self._next_block_id += 1
         self.blocks_created += 1
@@ -193,10 +204,23 @@ class BlockManager:
                 return self._pending.pop(index)
         return None
 
-    def update_k_bar(self, block_id: int, k_bar: int) -> None:
-        """Fold a k̄ report from an ACK into sender state (monotone max)."""
+    def update_k_bar(self, block_id: int, k_bar: int, epoch: int = 0) -> None:
+        """Fold a k̄ report from an ACK into sender state.
+
+        Within one receiver quarantine epoch k̄ only grows, so the update
+        is a monotone max (reordered ACKs are harmless). A report from a
+        *newer* epoch means the receiver quarantined the block and evicted
+        its basis: the stale k̄ is overwritten wholesale, so the EAT
+        allocator starts feeding replacement symbols again. Reports from
+        older epochs are stale and ignored.
+        """
         block = self.block_by_id(block_id)
-        if block is not None and k_bar > block.k_bar:
+        if block is None:
+            return
+        if epoch > block.quarantine_epoch:
+            block.quarantine_epoch = epoch
+            block.k_bar = k_bar
+        elif epoch == block.quarantine_epoch and k_bar > block.k_bar:
             block.k_bar = k_bar
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

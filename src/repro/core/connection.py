@@ -184,6 +184,20 @@ class FmtcpConnection:
     def delivered_blocks(self) -> int:
         return self.receiver.delivered_blocks
 
+    def corruption_stats(self) -> dict:
+        """Integrity-layer counters, aggregated for telemetry and soaks."""
+        return {
+            "packets_discarded_corrupt": sum(
+                sink.packets_discarded_corrupt for sink in self._sinks
+            ),
+            "packets_rejected": sum(sink.packets_rejected for sink in self._sinks),
+            "acks_discarded_corrupt": sum(
+                sf.acks_discarded_corrupt for sf in self.subflows
+            ),
+            "blocks_quarantined": self.receiver.blocks_quarantined,
+            "symbols_evicted": self.receiver.symbols_evicted,
+        }
+
     def redundancy_ratio(self) -> float:
         """Symbols sent per symbol strictly needed (coding + loss overhead)."""
         needed = sum(

@@ -10,6 +10,7 @@ the exact rank-evolution model (DESIGN.md §3.2).
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.config import FmtcpConfig
@@ -66,12 +67,19 @@ Decoder = Union[BlockDecoder, RankEvolutionModel, LtDecoderAdapter]
 class _ActiveBlock:
     """Receiver-side state for a block still being decoded."""
 
-    __slots__ = ("decoder", "block_bytes", "first_symbol_at")
+    __slots__ = ("decoder", "block_bytes", "first_symbol_at", "block_crc")
 
-    def __init__(self, decoder: Decoder, block_bytes: int, first_symbol_at: float):
+    def __init__(
+        self,
+        decoder: Decoder,
+        block_bytes: int,
+        first_symbol_at: float,
+        block_crc: Optional[int] = None,
+    ):
         self.decoder = decoder
         self.block_bytes = block_bytes
         self.first_symbol_at = first_symbol_at
+        self.block_crc = block_crc
 
 
 class FmtcpReceiver:
@@ -102,6 +110,13 @@ class FmtcpReceiver:
         self.blocks_decoded = 0
         self.delivered_bytes = 0
         self.decode_times: Dict[int, float] = {}
+        # Decoder-poisoning quarantine: block_id -> eviction count. An
+        # entry means the block's whole symbol basis was thrown away at
+        # least once; the epoch rides in feedback() so the sender resets
+        # its monotone-max k̄ view and supplies replacement symbols.
+        self._quarantine_epochs: Dict[int, int] = {}
+        self.blocks_quarantined = 0
+        self.symbols_evicted = 0
 
     # ------------------------------------------------------------------
     # Data path.
@@ -122,6 +137,7 @@ class FmtcpReceiver:
                 decoder=self._make_decoder(group),
                 block_bytes=group.block_bytes,
                 first_symbol_at=self.sim.now,
+                block_crc=group.block_crc,
             )
             self._active[group.block_id] = active
         decoder = active.decoder
@@ -135,6 +151,12 @@ class FmtcpReceiver:
                 if not decoder.add_symbol():
                     self.symbols_redundant += 1
                 self.symbols_received += 1
+        if getattr(decoder, "poisoned", False):
+            # A contradictory GF(2) row proved a corrupted symbol sits in
+            # (or just hit) the basis. The culprit is unidentifiable, so
+            # the whole basis is suspect: evict it all.
+            self._quarantine(group.block_id, active, reason="gf2_inconsistent")
+            return
         if decoder.is_complete:
             self._finish_block(group.block_id, active)
 
@@ -153,13 +175,48 @@ class FmtcpReceiver:
             )
         return RankEvolutionModel(group.block_k, rng=self._rng)
 
-    def _finish_block(self, block_id: int, active: _ActiveBlock) -> None:
+    def _quarantine(self, block_id: int, active: _ActiveBlock, reason: str) -> None:
+        """Evict a poisoned block's entire decoder state.
+
+        The next arriving symbol group recreates a fresh decoder; the
+        bumped epoch (reported in every subsequent feedback) tells the
+        sender to reset its k̄ view of this block and keep allocating
+        until the rebuilt basis completes — with a verified CRC.
+        """
         del self._active[block_id]
-        self.blocks_decoded += 1
-        self.decode_times[block_id] = self.sim.now
+        evicted = int(active.decoder.independent_symbols)
+        self.blocks_quarantined += 1
+        self.symbols_evicted += evicted
+        self._quarantine_epochs[block_id] = (
+            self._quarantine_epochs.get(block_id, 0) + 1
+        )
+        if self.trace is not None and self.trace.has_subscribers(
+            "fmtcp.block_quarantined"
+        ):
+            self.trace.emit(
+                self.sim.now,
+                "fmtcp.block_quarantined",
+                block_id=block_id,
+                reason=reason,
+                evicted=evicted,
+                epoch=self._quarantine_epochs[block_id],
+            )
+
+    def _finish_block(self, block_id: int, active: _ActiveBlock) -> None:
         data = None
         if isinstance(active.decoder, (BlockDecoder, LtDecoderAdapter)):
             data = active.decoder.decode()
+            if active.block_crc is not None and zlib.crc32(data) != active.block_crc:
+                # The GF(2) system stayed consistent but decoded to the
+                # wrong bytes: corrupted symbols entered the basis without
+                # ever producing a contradictory row. The block CRC is the
+                # backstop that keeps them away from the application.
+                self._quarantine(block_id, active, reason="block_crc")
+                return
+        del self._active[block_id]
+        self._quarantine_epochs.pop(block_id, None)
+        self.blocks_decoded += 1
+        self.decode_times[block_id] = self.sim.now
         if self.trace is not None and self.trace.has_subscribers("fmtcp.block_decoded"):
             decoder = active.decoder
             received = getattr(decoder, "symbols_received", None)
@@ -219,6 +276,10 @@ class FmtcpReceiver:
             k_bar=k_bar,
             decoded_in_order=self._decode_frontier,
             decoded_out_of_order=decoded_out_of_order,
+            # Entries are popped on successful decode, so this is exactly
+            # the set of still-undecoded blocks with evicted bases (empty
+            # on a clean connection — zero feedback overhead).
+            quarantine=dict(self._quarantine_epochs),
         )
 
     # ------------------------------------------------------------------

@@ -202,6 +202,7 @@ class FmtcpSender(SubflowOwner):
                     block_k=block.k,
                     block_bytes=block.data_bytes,
                     symbols=symbols,
+                    block_crc=block.block_crc,
                 )
             )
             block.record_sent(subflow.subflow_id, count, self.sim.now)
@@ -275,8 +276,15 @@ class FmtcpSender(SubflowOwner):
     # SubflowOwner: receiver feedback (k̄ reports + decode confirmations).
     # ------------------------------------------------------------------
     def on_ack_feedback(self, subflow: Subflow, feedback: FmtcpFeedback) -> None:
+        quarantine = feedback.quarantine
         for block_id, k_bar in feedback.k_bar.items():
-            self.blocks.update_k_bar(block_id, k_bar)
+            self.blocks.update_k_bar(block_id, k_bar, quarantine.get(block_id, 0))
+        # A quarantined block with no re-received symbols yet reports no
+        # k̄ entry at all — push its epoch (with k̄=0) so the stale rank is
+        # reset and the EAT allocator starts feeding replacements.
+        for block_id, epoch in quarantine.items():
+            if block_id not in feedback.k_bar:
+                self.blocks.update_k_bar(block_id, 0, epoch)
         if self.config.adaptive_margin:
             self._observe_prediction_misses()
         while self._decoded_frontier_seen < feedback.decoded_in_order:

@@ -8,6 +8,11 @@ the chaos harness (:func:`run_chaos`) that drives a full transfer
 through a scenario and checks the invariants a robust transport must
 keep, and the benchmark probe (:func:`measure_fault_response`) that
 quantifies goodput retention and recovery time.
+
+Data *corruption* scenarios (``corrupt``/``corrupt_ge`` events) get
+their own harness, :func:`run_corruption`, which sends real random
+payloads and additionally verifies the delivered stream byte-for-byte
+against the source transcript.
 """
 
 from repro.faults.chaos import (
@@ -23,8 +28,15 @@ from repro.faults.churn import (
     measure_churn_response,
     run_churn,
 )
+from repro.faults.corruption import (
+    CorruptionReport,
+    measure_corruption_goodput,
+    run_corruption,
+)
 from repro.faults.scenario import (
     CHURN_KINDS,
+    CORRUPTION_KINDS,
+    CORRUPTION_SCENARIOS,
     FAULT_KINDS,
     MOBILITY_SCENARIOS,
     SCENARIOS,
@@ -36,20 +48,25 @@ from repro.faults.scenario import (
 
 __all__ = [
     "CHURN_KINDS",
+    "CORRUPTION_KINDS",
+    "CORRUPTION_SCENARIOS",
     "FAULT_KINDS",
     "MOBILITY_SCENARIOS",
     "SCENARIOS",
     "PROTOCOLS",
     "ChaosReport",
     "ChurnReport",
+    "CorruptionReport",
     "FaultBenchResult",
     "FaultEvent",
     "FaultInjector",
     "FaultScenario",
     "PathChurnController",
     "measure_churn_response",
+    "measure_corruption_goodput",
     "measure_fault_response",
     "resolve_scenario",
     "run_chaos",
     "run_churn",
+    "run_corruption",
 ]

@@ -120,6 +120,12 @@ def run_chaos(
             f"scenario {scenario.name!r} has subflow-lifecycle events; "
             "use repro.faults.churn.run_churn"
         )
+    if scenario.has_corruption:
+        raise ValueError(
+            f"scenario {scenario.name!r} has corruption events; use "
+            "repro.faults.corruption.run_corruption (it verifies delivered "
+            "bytes, which this harness cannot)"
+        )
     trace = TraceBus()
     configs = [
         PathConfig(bandwidth_bps=bandwidth_bps, delay_s=delay_s, loss_rate=base_loss)

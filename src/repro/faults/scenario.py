@@ -37,6 +37,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.net.corruption import (
+    CORRUPTION_EFFECTS,
+    BernoulliCorruption,
+    GilbertElliottCorruption,
+)
 from repro.net.loss import BernoulliLoss
 from repro.net.reorder import UniformReordering
 from repro.net.topology import Path
@@ -51,6 +56,14 @@ from repro.sim.trace import TraceBus
 #: :class:`repro.faults.churn.PathChurnController`.
 CHURN_KINDS = ("path_down", "path_up", "handover")
 
+#: Data-corruption event kinds: install a
+#: :class:`~repro.net.corruption.CorruptionModel` on the path's links.
+#: ``corrupt`` takes ``rate`` or ``(rate[, effect[, evade_crc]])``
+#: (a :class:`BernoulliCorruption`); ``corrupt_ge`` takes
+#: ``(p_gb, p_bg, corrupt_bad[, effect[, evade_crc]])`` (a bursty
+#: :class:`GilbertElliottCorruption`). ``None`` restores the baseline.
+CORRUPTION_KINDS = ("corrupt", "corrupt_ge")
+
 FAULT_KINDS = (
     "down",
     "up",
@@ -59,7 +72,47 @@ FAULT_KINDS = (
     "loss",
     "reorder",
     "queue",
-) + CHURN_KINDS
+) + CHURN_KINDS + CORRUPTION_KINDS
+
+
+def _make_bernoulli_corruption(value: Any) -> BernoulliCorruption:
+    """Build the ``corrupt`` event's model; raises ValueError on junk."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return BernoulliCorruption(float(value))
+    try:
+        rate, *rest = value
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"corrupt value must be rate or (rate[, effect[, evade_crc]]), "
+            f"got {value!r}"
+        ) from None
+    effect = rest[0] if len(rest) >= 1 else "bitflip"
+    evade_crc = float(rest[1]) if len(rest) >= 2 else 0.0
+    if len(rest) > 2 or effect not in CORRUPTION_EFFECTS:
+        raise ValueError(f"bad corrupt value {value!r}")
+    return BernoulliCorruption(float(rate), effect=effect, evade_crc=evade_crc)
+
+
+def _make_ge_corruption(value: Any) -> GilbertElliottCorruption:
+    """Build the ``corrupt_ge`` event's model; raises ValueError on junk."""
+    try:
+        p_gb, p_bg, corrupt_bad, *rest = value
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"corrupt_ge value must be (p_gb, p_bg, corrupt_bad"
+            f"[, effect[, evade_crc]]), got {value!r}"
+        ) from None
+    effect = rest[0] if len(rest) >= 1 else "bitflip"
+    evade_crc = float(rest[1]) if len(rest) >= 2 else 0.0
+    if len(rest) > 2 or effect not in CORRUPTION_EFFECTS:
+        raise ValueError(f"bad corrupt_ge value {value!r}")
+    return GilbertElliottCorruption(
+        float(p_gb),
+        float(p_bg),
+        corrupt_bad=float(corrupt_bad),
+        effect=effect,
+        evade_crc=evade_crc,
+    )
 
 
 @dataclass(frozen=True)
@@ -95,6 +148,10 @@ class FaultEvent:
                 )
         elif self.kind in ("path_down", "path_up") and self.value is not None:
             raise ValueError(f"{self.kind} takes no value, got {self.value!r}")
+        elif self.kind == "corrupt" and self.value is not None:
+            _make_bernoulli_corruption(self.value)  # validates, result unused
+        elif self.kind == "corrupt_ge" and self.value is not None:
+            _make_ge_corruption(self.value)  # validates, result unused
 
 
 class FaultScenario:
@@ -154,6 +211,12 @@ class FaultScenario:
         return any(event.kind in CHURN_KINDS for event in self.events)
 
     @property
+    def has_corruption(self) -> bool:
+        """Whether any event installs a corruption model (routes the
+        scenario to :func:`repro.faults.corruption.run_corruption`)."""
+        return any(event.kind in CORRUPTION_KINDS for event in self.events)
+
+    @property
     def settle_time(self) -> float:
         """When the last lifecycle change has landed.
 
@@ -184,10 +247,17 @@ class FaultScenario:
     @classmethod
     def named(cls, name: str) -> "FaultScenario":
         """Build one of the preset scenarios (:data:`SCENARIOS` link
-        faults or :data:`MOBILITY_SCENARIOS` subflow churn)."""
-        factory = SCENARIOS.get(name) or MOBILITY_SCENARIOS.get(name)
+        faults, :data:`MOBILITY_SCENARIOS` subflow churn or
+        :data:`CORRUPTION_SCENARIOS` data corruption)."""
+        factory = (
+            SCENARIOS.get(name)
+            or MOBILITY_SCENARIOS.get(name)
+            or CORRUPTION_SCENARIOS.get(name)
+        )
         if factory is None:
-            known = ", ".join(sorted({**SCENARIOS, **MOBILITY_SCENARIOS}))
+            known = ", ".join(
+                sorted({**SCENARIOS, **MOBILITY_SCENARIOS, **CORRUPTION_SCENARIOS})
+            )
             raise ValueError(f"unknown scenario {name!r} (known: {known})") from None
         return factory()
 
@@ -264,6 +334,7 @@ class _LinkBaseline:
     loss_model: Any
     reordering_model: Any
     queue_capacity: int
+    corruption_model: Any
 
 
 class FaultInjector:
@@ -322,6 +393,7 @@ class FaultInjector:
                     loss_model=link.loss_model,
                     reordering_model=link.reordering_model,
                     queue_capacity=link.queue.capacity,
+                    corruption_model=link.corruption_model,
                 )
         for event in scenario.events:
             sim.schedule_at(event.time, self._apply, event)
@@ -341,13 +413,20 @@ class FaultInjector:
             return True
         if event.kind in ("bandwidth", "delay"):
             return float(event.value) == 1.0
-        if event.kind in ("loss", "reorder", "queue"):
+        if event.kind in ("loss", "reorder", "queue", "corrupt", "corrupt_ge"):
             return event.value is None
         return False  # "down" always degrades
 
     def _note_overlap(self, event: FaultEvent) -> None:
         """Record last-writer-wins collisions of same-kind link faults."""
-        base_kind = "down" if event.kind in ("down", "up") else event.kind
+        if event.kind in ("down", "up"):
+            base_kind = "down"
+        elif event.kind in CORRUPTION_KINDS:
+            # Both kinds write the same link slot (corruption_model), so
+            # cross-kind clobbering is still an overlap worth diagnosing.
+            base_kind = "corrupt"
+        else:
+            base_kind = event.kind
         restoring = self._is_restore(event)
         clobbered: List[FaultEvent] = []
         for link in self._links_of(event):
@@ -416,6 +495,21 @@ class FaultInjector:
                     link.set_reordering_model(
                         UniformReordering(probability, max_extra_s=max_extra_s)
                     )
+            elif event.kind == "corrupt":
+                if event.value is None:
+                    link.set_corruption_model(baseline.corruption_model)
+                else:
+                    # Fresh model per link: each link's realisation draws
+                    # from its own rng stream.
+                    link.set_corruption_model(
+                        _make_bernoulli_corruption(event.value)
+                    )
+            elif event.kind == "corrupt_ge":
+                if event.value is None:
+                    link.set_corruption_model(baseline.corruption_model)
+                else:
+                    # Per-link instance: the GE chain is stateful.
+                    link.set_corruption_model(_make_ge_corruption(event.value))
             else:  # queue
                 capacity = (
                     baseline.queue_capacity if event.value is None else int(event.value)
@@ -541,6 +635,69 @@ MOBILITY_SCENARIOS: Dict[str, Callable[[], FaultScenario]] = {
     "wifi_to_lte_handover": _wifi_to_lte_handover,
     "flaky_path_churn": _flaky_path_churn,
     "single_path_degradation": _single_path_degradation,
+}
+
+
+# ----------------------------------------------------------------------
+# Corruption presets: data-integrity timelines, same shape as the link
+# presets (path 1 corrupts during [8, 18) s, path 0 stays clean). Their
+# own registry because the plain harness has no byte-level delivery
+# verification — they route to repro.faults.corruption.run_corruption.
+# ----------------------------------------------------------------------
+def _bit_rot() -> FaultScenario:
+    # Steady 5 % bit-flip corruption; one flip in five re-seals the link
+    # CRC (a collision), exercising the end-to-end DSS / block-CRC /
+    # GF(2)-inconsistency defenses, not just verify-and-discard.
+    return FaultScenario(
+        "bit_rot",
+        [
+            FaultEvent(8.0, "corrupt", 1, (0.05, "bitflip", 0.2)),
+            FaultEvent(18.0, "corrupt", 1, None),
+        ],
+    )
+
+
+def _corruption_burst() -> FaultScenario:
+    # Gilbert–Elliott-gated bursts: ~4-packet bad states corrupting half
+    # of what they touch, the middlebox-goes-insane failure mode.
+    return FaultScenario(
+        "corruption_burst",
+        [
+            FaultEvent(8.0, "corrupt_ge", 1, (0.02, 0.25, 0.5, "bitflip", 0.2)),
+            FaultEvent(18.0, "corrupt_ge", 1, None),
+        ],
+    )
+
+
+def _truncation_storm() -> FaultScenario:
+    # 10 % of packets lose their tail — always CRC-detectable, so this
+    # stresses the pure corruption-as-loss path at a higher rate.
+    return FaultScenario(
+        "truncation_storm",
+        [
+            FaultEvent(8.0, "corrupt", 1, (0.1, "truncate")),
+            FaultEvent(18.0, "corrupt", 1, None),
+        ],
+    )
+
+
+def _duplicate_mutation() -> FaultScenario:
+    # Duplication-with-mutation: the clean packet still arrives, plus a
+    # mutated twin — exactly-once delivery must hold against both.
+    return FaultScenario(
+        "duplicate_mutation",
+        [
+            FaultEvent(8.0, "corrupt", 1, (0.05, "duplicate", 0.2)),
+            FaultEvent(18.0, "corrupt", 1, None),
+        ],
+    )
+
+
+CORRUPTION_SCENARIOS: Dict[str, Callable[[], FaultScenario]] = {
+    "bit_rot": _bit_rot,
+    "corruption_burst": _corruption_burst,
+    "truncation_storm": _truncation_storm,
+    "duplicate_mutation": _duplicate_mutation,
 }
 
 

@@ -32,6 +32,19 @@ class Symbol:
         """Number of source parts XOR-ed into this symbol."""
         return bin(self.coeff).count("1")
 
+    def integrity_digest(self) -> bytes:
+        return f"sym:{self.coeff:x}:{self.data:x}".encode()
+
+    def integrity_mutate(self, rng) -> "Symbol":
+        """A copy with one data bit flipped (a silently corrupted symbol).
+
+        The flipped bit stays within ``data.bit_length()`` (bit 0 when the
+        data is zero), so the mutated value never outgrows the block's
+        part size and a poisoned decode cannot overflow ``join_parts``.
+        """
+        span = max(1, self.data.bit_length())
+        return Symbol(self.coeff, self.data ^ (1 << rng.randrange(span)))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Symbol coeff={self.coeff:#x} degree={self.degree()}>"
 
@@ -144,6 +157,12 @@ class BlockDecoder:
     @property
     def is_complete(self) -> bool:
         return self._eliminator.is_full_rank
+
+    @property
+    def poisoned(self) -> bool:
+        """True once the GF(2) system proved itself inconsistent — some
+        absorbed symbol was corrupted and the basis cannot be trusted."""
+        return self._eliminator.inconsistent
 
     def add_symbol(self, symbol: Symbol) -> bool:
         """Absorb a symbol; True iff it increased the decoder's rank.

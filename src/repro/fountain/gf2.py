@@ -31,6 +31,11 @@ class Gf2Eliminator:
         self._pivots: Dict[int, Tuple[int, int]] = {}
         self.rows_seen = 0
         self.dependent_rows = 0
+        # Dependent rows whose payload did NOT reduce to zero: proof that
+        # some row in the basis (or this one) was corrupted — in a clean
+        # linear code a dependent coefficient row always carries the XOR
+        # of the rows it depends on, so its payload residual must be 0.
+        self.inconsistent_rows = 0
 
     @property
     def rank(self) -> int:
@@ -39,6 +44,11 @@ class Gf2Eliminator:
     @property
     def is_full_rank(self) -> bool:
         return len(self._pivots) == self.k
+
+    @property
+    def inconsistent(self) -> bool:
+        """True once a contradictory row proved the system is poisoned."""
+        return self.inconsistent_rows > 0
 
     def add_row(self, coeff: int, payload: int = 0) -> bool:
         """Insert a row; returns True iff it was linearly independent."""
@@ -54,6 +64,8 @@ class Gf2Eliminator:
             coeff ^= existing[0]
             payload ^= existing[1]
         self.dependent_rows += 1
+        if payload != 0:
+            self.inconsistent_rows += 1
         return False
 
     def would_be_independent(self, coeff: int) -> bool:

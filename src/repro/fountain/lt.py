@@ -33,6 +33,15 @@ class LtSymbol:
     def degree(self) -> int:
         return len(self.neighbours)
 
+    def integrity_digest(self) -> bytes:
+        return f"lts:{sorted(self.neighbours)}:{self.data:x}".encode()
+
+    def integrity_mutate(self, rng) -> "LtSymbol":
+        """A copy with one data bit flipped (bounded by the current data
+        width so a corrupted part can never outgrow the part size)."""
+        span = max(1, self.data.bit_length())
+        return LtSymbol(self.neighbours, self.data ^ (1 << rng.randrange(span)))
+
 
 class LtEncoder:
     """Emits LT symbols for one block of bytes."""

@@ -21,6 +21,9 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
+import zlib
+
+from repro.net.integrity import payload_digest
 from repro.net.topology import Path
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceBus
@@ -69,10 +72,30 @@ class MptcpConfig:
             )
 
 
-class Chunk:
-    """One connection-level data unit (rides in exactly one packet)."""
+def _dss_checksum(dsn: int, size: int, payload_bytes: Optional[bytes]) -> int:
+    """The DSS-option checksum of one chunk (RFC 8684 §3.3 analogue)."""
+    header = f"dss:{dsn}:{size}:".encode()
+    return zlib.crc32(payload_digest(payload_bytes), zlib.crc32(header))
 
-    __slots__ = ("dsn", "size", "payload_bytes", "first_sent_at", "timeouts")
+
+class Chunk:
+    """One connection-level data unit (rides in exactly one packet).
+
+    ``dss_checksum`` is stamped at creation, covering the data-sequence
+    header and payload — MPTCP's connection-level integrity check. It
+    travels with the chunk, so a payload mutated in flight (even one that
+    re-seals the link CRC) no longer matches and is discarded by
+    :meth:`MptcpConnection._receiver_on_segment`.
+    """
+
+    __slots__ = (
+        "dsn",
+        "size",
+        "payload_bytes",
+        "first_sent_at",
+        "timeouts",
+        "dss_checksum",
+    )
 
     def __init__(self, dsn: int, size: int, payload_bytes: Optional[bytes], sent_at: float):
         self.dsn = dsn
@@ -80,6 +103,27 @@ class Chunk:
         self.payload_bytes = payload_bytes
         self.first_sent_at = sent_at
         self.timeouts = 0
+        self.dss_checksum = _dss_checksum(dsn, size, payload_bytes)
+
+    def integrity_digest(self) -> bytes:
+        # Only immutable wire fields: first_sent_at/timeouts are sender
+        # bookkeeping that mutates while copies of the chunk are in flight.
+        return (
+            f"chunk:{self.dsn}:{self.size}:".encode()
+            + payload_digest(self.payload_bytes)
+        )
+
+    def integrity_mutate(self, rng) -> Optional["Chunk"]:
+        """A bit-flipped copy carrying the original's (now stale) DSS
+        checksum, or ``None`` when the payload is synthetic (int mode)."""
+        if not self.payload_bytes:
+            return None
+        data = bytearray(self.payload_bytes)
+        index = rng.randrange(len(data))
+        data[index] ^= 1 << rng.randrange(8)
+        mutated = Chunk(self.dsn, self.size, bytes(data), self.first_sent_at)
+        mutated.dss_checksum = self.dss_checksum
+        return mutated
 
 
 class MptcpFeedback:
@@ -90,6 +134,9 @@ class MptcpFeedback:
     def __init__(self, data_ack: int, advertised_window: int):
         self.data_ack = data_ack
         self.advertised_window = advertised_window
+
+    def integrity_digest(self) -> bytes:
+        return f"mpfb:{self.data_ack}:{self.advertised_window}".encode()
 
 
 PullResult = Union[int, bytes, None]
@@ -151,6 +198,7 @@ class MptcpConnection(SubflowOwner):
         self._reorder = ReorderBuffer(self.config.recv_buffer_chunks)
         self.delivered_bytes = 0
         self.delivered_chunks = 0
+        self.chunks_discarded_checksum = 0
 
     def _attach(self, path: Path, join_delay_s: Optional[float]) -> Subflow:
         """Build one subflow + its receiver sink and register both."""
@@ -483,8 +531,23 @@ class MptcpConnection(SubflowOwner):
     # ------------------------------------------------------------------
     # Receiver side.
     # ------------------------------------------------------------------
-    def _receiver_on_segment(self, subflow_id: int, segment) -> None:
+    def _receiver_on_segment(self, subflow_id: int, segment):
         chunk: Chunk = segment.payload
+        if chunk.dss_checksum != _dss_checksum(chunk.dsn, chunk.size, chunk.payload_bytes):
+            # Connection-level integrity failure (the corruption evaded the
+            # link CRC). Returning False withholds the subflow ACK, so the
+            # sender retransmits the chunk through the normal loss path.
+            self.chunks_discarded_checksum += 1
+            if self.trace is not None and self.trace.has_subscribers(
+                "conn.discard_checksum"
+            ):
+                self.trace.emit(
+                    self.sim.now,
+                    "conn.discard_checksum",
+                    subflow=subflow_id,
+                    dsn=chunk.dsn,
+                )
+            return False
         for __, delivered in self._reorder.insert(chunk.dsn, chunk):
             self.delivered_bytes += delivered.size
             self.delivered_chunks += 1
@@ -514,6 +577,19 @@ class MptcpConnection(SubflowOwner):
     @property
     def reorder_buffer(self) -> ReorderBuffer:
         return self._reorder
+
+    def corruption_stats(self) -> Dict[str, int]:
+        """Integrity-layer counters, aggregated for telemetry and soaks."""
+        return {
+            "packets_discarded_corrupt": sum(
+                sink.packets_discarded_corrupt for sink in self._sinks
+            ),
+            "packets_rejected": sum(sink.packets_rejected for sink in self._sinks),
+            "acks_discarded_corrupt": sum(
+                sf.acks_discarded_corrupt for sf in self.subflows
+            ),
+            "chunks_discarded_checksum": self.chunks_discarded_checksum,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

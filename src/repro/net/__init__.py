@@ -6,6 +6,16 @@ scheduled/time-varying, Gilbert–Elliott), and topology builders — including
 the paper's two-disjoint-path topology.
 """
 
+from repro.net.corruption import (
+    CORRUPTION_EFFECTS,
+    BernoulliCorruption,
+    CorruptedPayload,
+    CorruptionModel,
+    GilbertElliottCorruption,
+    NoCorruption,
+    corrupt_packet,
+)
+from repro.net.integrity import packet_checksum, payload_digest, seal, verify
 from repro.net.loss import (
     BernoulliLoss,
     GilbertElliottLoss,
@@ -24,12 +34,18 @@ from repro.net.queues import DropTailQueue, RedQueue
 from repro.net.topology import Network, Path, PathConfig, build_two_path_network
 
 __all__ = [
+    "BernoulliCorruption",
     "BernoulliLoss",
+    "CORRUPTION_EFFECTS",
+    "CorruptedPayload",
+    "CorruptionModel",
     "DropTailQueue",
+    "GilbertElliottCorruption",
     "GilbertElliottLoss",
     "Link",
     "LossModel",
     "Network",
+    "NoCorruption",
     "NoLoss",
     "NoReordering",
     "QueueMonitor",
@@ -44,5 +60,10 @@ __all__ = [
     "ScheduledLoss",
     "UtilisationMonitor",
     "build_two_path_network",
+    "corrupt_packet",
+    "packet_checksum",
+    "payload_digest",
     "record_loss_trace",
+    "seal",
+    "verify",
 ]

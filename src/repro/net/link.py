@@ -20,6 +20,7 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+from repro.net.corruption import CorruptionModel
 from repro.net.loss import LossModel, NoLoss
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue
@@ -44,6 +45,7 @@ class Link:
         rng: Optional[random.Random] = None,
         trace: Optional[TraceBus] = None,
         reordering_model: Optional[ReorderingModel] = None,
+        corruption_model: Optional[CorruptionModel] = None,
     ):
         if bandwidth_bps <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
@@ -65,6 +67,7 @@ class Link:
         self.rng = rng if rng is not None else RngStreams(0).get(f"link:{name}")
         self.trace = trace
         self.reordering_model = reordering_model
+        self.corruption_model = corruption_model
         self._busy = False
         self._down = False
         # Counters for link-level accounting in tests and the Table I bench.
@@ -72,6 +75,7 @@ class Link:
         self.packets_dropped_loss = 0
         self.packets_dropped_queue = 0
         self.packets_dropped_down = 0
+        self.packets_corrupted = 0
         self.packets_delivered = 0
         self.bytes_delivered = 0
 
@@ -102,6 +106,10 @@ class Link:
     def set_reordering_model(self, model: Optional[ReorderingModel]) -> None:
         """Install (or with ``None`` remove) a reordering model."""
         self.reordering_model = model
+
+    def set_corruption_model(self, model: Optional[CorruptionModel]) -> None:
+        """Install (or with ``None`` remove) a corruption model."""
+        self.corruption_model = model
 
     def set_down(self, down: bool = True) -> None:
         """Kill (or revive) the link.
@@ -170,6 +178,17 @@ class Link:
         delay = self.delay_s
         if self.reordering_model is not None:
             delay += self.reordering_model.extra_delay(self.sim.now, self.rng)
+        if self.corruption_model is not None:
+            damaged = self.corruption_model.apply(packet, self.sim.now, self.rng)
+            if damaged is not None:
+                self.packets_corrupted += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        self.sim.now, "link.corrupt", link=self.name, packet=packet
+                    )
+                for replacement in damaged:
+                    self.sim.schedule(delay, self._deliver, replacement)
+                return
         self.sim.schedule(delay, self._deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:

@@ -34,6 +34,7 @@ class Packet:
         "route_index",
         "sent_at",
         "flow_label",
+        "checksum",
     )
 
     def __init__(
@@ -59,6 +60,31 @@ class Packet:
         self.route_index = 0
         self.sent_at: Optional[float] = None
         self.flow_label = flow_label
+        # Set by repro.net.integrity.seal; None means unsealed (always
+        # verifies, so transports opt in per packet).
+        self.checksum: Optional[int] = None
+
+    def clone(self, payload: Any = None) -> "Packet":
+        """A mid-flight copy (fresh uid) continuing the same journey.
+
+        Used by corruption models that duplicate a packet on the wire:
+        the copy keeps the original's routing progress, timestamps and
+        checksum, optionally with ``payload`` substituted.
+        """
+        copy = Packet(
+            size=self.size,
+            src=self.src,
+            dst=self.dst,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            payload=self.payload if payload is None else payload,
+            flow_label=self.flow_label,
+        )
+        copy.route = self.route
+        copy.route_index = self.route_index
+        copy.sent_at = self.sent_at
+        copy.checksum = self.checksum
+        return copy
 
     def next_link(self):
         """Pop the next hop off the source route; ``None`` at the endpoint."""

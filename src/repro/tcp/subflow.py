@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Tuple
 
+from repro.net.integrity import payload_digest, seal, verify
 from repro.net.packet import Packet
 from repro.net.topology import Path
 from repro.sim.engine import Simulator
@@ -48,6 +49,17 @@ class SubflowSegment:
         self.seq = seq
         self.payload = payload
 
+    def integrity_digest(self) -> bytes:
+        return b"seg:" + str(self.seq).encode() + b":" + payload_digest(self.payload)
+
+    def integrity_mutate(self, rng):
+        """A deep-mutated copy for CRC-evading corruption, or ``None``."""
+        mutate = getattr(self.payload, "integrity_mutate", None)
+        mutated = mutate(rng) if mutate is not None else None
+        if mutated is None:
+            return None
+        return SubflowSegment(self.seq, mutated)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Seg seq={self.seq}>"
 
@@ -60,6 +72,12 @@ class SubflowAck:
     def __init__(self, echo_seq: int, feedback: Any = None):
         self.echo_seq = echo_seq
         self.feedback = feedback
+
+    def integrity_digest(self) -> bytes:
+        return (
+            b"ack:" + str(self.echo_seq).encode() + b":"
+            + payload_digest(self.feedback)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Ack echo={self.echo_seq}>"
@@ -191,6 +209,7 @@ class Subflow:
         self.packets_acked = 0
         self.packets_lost_dupack = 0
         self.packets_lost_timeout = 0
+        self.acks_discarded_corrupt = 0
         self.bytes_sent = 0
 
     # ------------------------------------------------------------------
@@ -329,6 +348,7 @@ class Subflow:
             payload=SubflowSegment(seq, payload),
             flow_label=f"sf{self.subflow_id}",
         )
+        seal(packet)
         packet.sent_at = self.sim.now
         self.last_transmit_at = self.sim.now
         self.packets_sent += 1
@@ -345,6 +365,17 @@ class Subflow:
     # ACK processing and loss detection.
     # ------------------------------------------------------------------
     def _on_ack_packet(self, packet: Packet) -> None:
+        if not verify(packet):
+            # Corrupted ACK: discard silently. The data packet's timer is
+            # still running, so this degrades to an ordinary loss.
+            self.acks_discarded_corrupt += 1
+            if self.trace is not None and self.trace.has_subscribers(
+                "subflow.ack_corrupt"
+            ):
+                self.trace.emit(
+                    self.sim.now, "subflow.ack_corrupt", subflow=self.subflow_id
+                )
+            return
         ack: SubflowAck = packet.payload
         seq = ack.echo_seq
         # Any ACK — even one for a packet we gave up on — proves the path
@@ -550,11 +581,34 @@ class SubflowSink:
         self.src_node = path.src_node
         self.dst_node.bind(self._dst_port, self._on_data_packet)
         self.packets_received = 0
+        self.packets_discarded_corrupt = 0
+        self.packets_rejected = 0
 
     def _on_data_packet(self, packet: Packet) -> None:
+        if not verify(packet):
+            # Link-CRC failure: drop without acknowledging, exactly like a
+            # wire loss — the sender's dupack/RTO machinery takes it from
+            # here, so corruption feeds the normal congestion response.
+            self.packets_discarded_corrupt += 1
+            if self.trace is not None and self.trace.has_subscribers(
+                "subflow.discard_corrupt"
+            ):
+                self.trace.emit(
+                    self.sim.now,
+                    "subflow.discard_corrupt",
+                    subflow=self.subflow_id,
+                    packet=packet,
+                )
+            return
         segment: SubflowSegment = packet.payload
         self.packets_received += 1
-        self._on_segment(self.subflow_id, segment)
+        accepted = self._on_segment(self.subflow_id, segment)
+        if accepted is False:
+            # The connection-level receiver rejected the segment (e.g. a
+            # DSS-checksum mismatch): withhold the ACK so the sender
+            # retransmits through the usual loss path.
+            self.packets_rejected += 1
+            return
         feedback = None
         if self._feedback_provider is not None:
             feedback = self._feedback_provider(self.subflow_id, segment)
@@ -567,7 +621,7 @@ class SubflowSink:
             payload=SubflowAck(segment.seq, feedback),
             flow_label=f"ack{self.subflow_id}",
         )
-        self.path.send_reverse(ack_packet)
+        self.path.send_reverse(seal(ack_packet))
 
     def close(self) -> None:
         self.dst_node.unbind(self._dst_port)

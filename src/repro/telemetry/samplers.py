@@ -224,6 +224,9 @@ class ConnectionSampler(PeriodicSampler):
         reorder = getattr(connection, "reorder_buffer", None)
         if reorder is not None:
             fields["reorder_occupancy"] = reorder.occupancy
+        corruption = getattr(connection, "corruption_stats", None)
+        integrity = corruption() if corruption is not None else {}
+        fields.update(integrity)
         self.trace.emit(self.sim.now, "telemetry.conn", **fields)
         if self.registry is not None:
             self.registry.gauge("conn.delivered_bytes").set(
@@ -232,6 +235,10 @@ class ConnectionSampler(PeriodicSampler):
             backlog = fields.get("pending_blocks", fields.get("reorder_occupancy"))
             if backlog is not None:
                 self.registry.gauge("conn.backlog").set(float(backlog))
+            for name, value in integrity.items():
+                # Cumulative integrity counters ride as gauges: sampled
+                # state, not per-event increments.
+                self.registry.gauge(f"conn.{name}").set(float(value))
 
 
 def attach_samplers(

@@ -117,6 +117,9 @@ def test_faults_list_command(capsys):
     # Mobility (subflow churn) presets are listed alongside link faults.
     assert "Mobility presets" in out
     assert "wifi_to_lte_handover" in out and "flaky_path_churn" in out
+    # And the corruption (data-integrity) registry gets its own group.
+    assert "Corruption presets" in out
+    assert "bit_rot" in out and "truncation_storm" in out
 
 
 def test_faults_chaos_command(capsys):
@@ -155,3 +158,20 @@ def test_faults_churn_scenario_command(capsys):
     assert "Scenario single_path_degradation" in out
     assert "OK" in out
     assert "downs" in out  # churn reports show lifecycle counters
+
+
+def test_faults_corruption_scenario_command(capsys):
+    assert main(
+        ["faults", "--scenario", "bit_rot", "--protocol", "fmtcp"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Scenario bit_rot" in out
+    assert "OK" in out
+    # Corruption reports show integrity-defense counters.
+    assert "corrupted" in out and "discarded" in out and "quarantined" in out
+
+
+def test_faults_unknown_scenario_menu_includes_corruption(capsys):
+    assert main(["faults", "--scenario", "nonsense"]) == 2
+    captured = capsys.readouterr()
+    assert "bit_rot" in captured.out and "corruption_burst" in captured.out

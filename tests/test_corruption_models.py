@@ -1,0 +1,199 @@
+"""Corruption models: damage effects, gating chains, CRC evasion and the
+copy-never-mutate discipline the retransmission buffers depend on.
+"""
+
+import random
+
+import pytest
+
+from repro.net.corruption import (
+    BernoulliCorruption,
+    CorruptedPayload,
+    GilbertElliottCorruption,
+    NoCorruption,
+    corrupt_packet,
+)
+from repro.net.integrity import seal, verify
+from repro.net.link import Link
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+
+def _sealed(payload=b"payload-bytes", size=100):
+    return seal(Packet(size, "a", "b", 1, 2, payload=payload))
+
+
+# ----------------------------------------------------------------------
+# Damage effects.
+# ----------------------------------------------------------------------
+def test_bitflip_is_detectable_by_default():
+    packet = _sealed()
+    (damaged,) = corrupt_packet(packet, "bitflip", random.Random(1))
+    assert damaged is not packet
+    assert isinstance(damaged.payload, CorruptedPayload)
+    assert not verify(damaged)
+    # The original (sender-owned) packet is untouched and still clean.
+    assert packet.payload == b"payload-bytes"
+    assert verify(packet)
+
+
+def test_truncate_shrinks_size_and_fails_verify():
+    packet = _sealed(size=100)
+    (damaged,) = corrupt_packet(packet, "truncate", random.Random(1))
+    assert damaged.size < 100
+    assert not verify(damaged)
+    assert packet.size == 100
+
+
+def test_duplicate_delivers_clean_plus_mutated_twin():
+    packet = _sealed()
+    first, second = corrupt_packet(packet, "duplicate", random.Random(1))
+    assert first is packet
+    assert verify(first)
+    assert not verify(second)
+
+
+def test_unknown_effect_rejected():
+    with pytest.raises(ValueError):
+        corrupt_packet(_sealed(), "gamma_ray", random.Random(1))
+
+
+# ----------------------------------------------------------------------
+# CRC evasion: deep mutation + re-seal, with graceful downgrade.
+# ----------------------------------------------------------------------
+class _MutablePayload:
+    def __init__(self, data):
+        self.data = data
+
+    def integrity_digest(self):
+        return b"mp:" + self.data
+
+    def integrity_mutate(self, rng):
+        flipped = bytearray(self.data)
+        flipped[rng.randrange(len(flipped))] ^= 0x01
+        return _MutablePayload(bytes(flipped))
+
+
+def test_evading_bitflip_reseals_a_mutated_copy():
+    original = _MutablePayload(b"secret")
+    packet = _sealed(payload=original)
+    (damaged,) = corrupt_packet(packet, "bitflip", random.Random(1), evade_crc=1.0)
+    # Passes the link CRC (re-sealed), but the content differs...
+    assert verify(damaged)
+    assert damaged.payload.data != b"secret"
+    # ...and the sender's object was never touched.
+    assert packet.payload is original
+    assert original.data == b"secret"
+
+
+def test_evasion_downgrades_when_payload_cannot_deep_mutate():
+    packet = _sealed(payload=12345)  # synthetic int payload: no mutate hook
+    (damaged,) = corrupt_packet(packet, "bitflip", random.Random(1), evade_crc=1.0)
+    assert isinstance(damaged.payload, CorruptedPayload)
+    assert not verify(damaged)
+
+
+def test_truncation_never_evades():
+    packet = _sealed(payload=_MutablePayload(b"secret"))
+    (damaged,) = corrupt_packet(packet, "truncate", random.Random(1), evade_crc=1.0)
+    assert not verify(damaged)
+
+
+# ----------------------------------------------------------------------
+# Gating models.
+# ----------------------------------------------------------------------
+def test_no_corruption_passes_everything():
+    model = NoCorruption()
+    assert model.apply(_sealed(), 0.0, random.Random(1)) is None
+    assert model.rate_at(0.0) == 0.0
+
+
+def test_bernoulli_rate_zero_draws_no_randomness():
+    rng = random.Random(1)
+    state = rng.getstate()
+    assert BernoulliCorruption(0.0).apply(_sealed(), 0.0, rng) is None
+    assert rng.getstate() == state
+
+
+def test_bernoulli_rate_one_corrupts_everything():
+    model = BernoulliCorruption(1.0, effect="bitflip")
+    assert model.rate_at(5.0) == 1.0
+    result = model.apply(_sealed(), 0.0, random.Random(1))
+    assert result is not None and not verify(result[0])
+
+
+def test_bernoulli_validates_arguments():
+    with pytest.raises(ValueError):
+        BernoulliCorruption(1.5)
+    with pytest.raises(ValueError):
+        BernoulliCorruption(0.1, effect="nope")
+    with pytest.raises(ValueError):
+        BernoulliCorruption(0.1, evade_crc=2.0)
+
+
+def test_gilbert_elliott_state_machine_bursts():
+    model = GilbertElliottCorruption(
+        p_gb=1.0, p_bg=0.0, corrupt_good=0.0, corrupt_bad=1.0
+    )
+    rng = random.Random(1)
+    assert model.state == model.GOOD
+    first = model.apply(_sealed(), 0.0, rng)
+    assert model.state == model.BAD
+    # Transitioned to BAD on the first packet and stays there: everything
+    # from then on is corrupted.
+    assert first is not None
+    for __ in range(5):
+        assert model.apply(_sealed(), 0.0, rng) is not None
+
+
+def test_gilbert_elliott_stationary_rate():
+    model = GilbertElliottCorruption(
+        p_gb=0.1, p_bg=0.3, corrupt_good=0.0, corrupt_bad=0.4
+    )
+    assert model.stationary_bad_fraction() == pytest.approx(0.25)
+    assert model.rate_at(0.0) == pytest.approx(0.1)
+
+
+# ----------------------------------------------------------------------
+# Link wiring.
+# ----------------------------------------------------------------------
+def test_link_counts_and_delivers_corrupted_packets():
+    sim = Simulator()
+    received = []
+    node = Node("b")
+    node.bind(2, received.append)
+    link = Link(
+        sim,
+        "l",
+        node,
+        bandwidth_bps=8e6,
+        delay_s=0.001,
+        rng=random.Random(7),
+        corruption_model=BernoulliCorruption(1.0, effect="duplicate"),
+    )
+    packet = _sealed()
+    packet.route = (link,)
+    packet.next_link().send(packet)
+    sim.run(until=1.0)
+    assert link.packets_corrupted == 1
+    # duplicate: the clean original plus one damaged twin arrive.
+    assert len(received) == 2
+    assert sum(1 for p in received if not verify(p)) == 1
+
+
+def test_link_without_model_leaves_packets_alone():
+    sim = Simulator()
+    received = []
+    node = Node("b")
+    node.bind(2, received.append)
+    link = Link(
+        sim, "l", node, bandwidth_bps=8e6, delay_s=0.001, rng=random.Random(7)
+    )
+    assert link.corruption_model is None
+    packet = _sealed()
+    packet.route = (link,)
+    packet.next_link().send(packet)
+    sim.run(until=1.0)
+    assert link.packets_corrupted == 0
+    assert received == [packet]

@@ -81,9 +81,42 @@ def test_churn_knobs_default_off():
     assert FaultScenario("x", [], n_paths=2).active_paths == (0, 1)
 
 
+def test_corruption_knobs_default_off():
+    """The data-integrity machinery must be invisible unless asked for:
+    no link grows a corruption model, packets start unsealed, and the
+    randomized chaos scenarios never draw corruption events (which would
+    shift every downstream RNG draw and break old seeds)."""
+    import inspect
+
+    from repro.faults import CORRUPTION_KINDS, FaultScenario
+    from repro.net.corruption import BernoulliCorruption
+    from repro.net.link import Link
+    from repro.net.packet import Packet
+    from repro.net.topology import PathConfig, build_two_path_network
+    from repro.sim.rng import RngStreams
+
+    assert inspect.signature(Link).parameters["corruption_model"].default is None
+    assert inspect.signature(BernoulliCorruption).parameters["evade_crc"].default == 0.0
+
+    configs = [PathConfig(bandwidth_bps=4e6, delay_s=0.02) for __ in range(2)]
+    __, paths = build_two_path_network(configs, rng=RngStreams(1))
+    for path in paths:
+        for link in (*path.forward_links, *path.reverse_links):
+            assert link.corruption_model is None
+            assert link.packets_corrupted == 0
+    assert Packet(100, "a", "b", 1, 2).checksum is None
+
+    # The random chaos generator's kind pool must stay corruption-free:
+    # old seeds must keep producing the exact same timelines.
+    for seed in range(1, 20):
+        scenario = FaultScenario.random(seed)
+        assert not scenario.has_corruption
+        assert all(e.kind not in CORRUPTION_KINDS for e in scenario.events)
+
+
 def test_golden_file_is_byte_identical_when_regenerated():
-    """With all churn knobs at their defaults, re-measuring every anchor
-    reproduces ``experiments/golden.json`` byte for byte — zero behaviour
-    drift from the lifecycle machinery."""
+    """With all churn and corruption knobs at their defaults, re-measuring
+    every anchor reproduces ``experiments/golden.json`` byte for byte —
+    zero behaviour drift from the lifecycle or integrity machinery."""
     regenerated = json.dumps(measure_all(), indent=2, sort_keys=True) + "\n"
     assert regenerated == GOLDEN_PATH.read_text()
