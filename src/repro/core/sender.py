@@ -15,7 +15,9 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.core.allocation import (
+    AllocationRequest,
     AllocationResult,
+    DecisionHook,
     allocate_packet,
     allocate_packet_greedy,
 )
@@ -54,11 +56,17 @@ class FmtcpSender(SubflowOwner):
         self.margin = config.completeness_margin
         self._miss_count = 0
         self._window_completed = 0
+        # Pluggable decision layer (repro.policy): when set, every regular
+        # transmission opportunity is delegated to the hook instead of the
+        # configured allocator. Probe and stop-and-wait paths are not
+        # delegated — they bypass the allocator today and keep doing so.
+        self.decision_hook: Optional[DecisionHook] = None
         # Statistics.
         self.packets_built = 0
         self.symbols_sent = 0
         self.symbols_lost = 0
         self.allocation_iterations = 0
+        self.decisions_delegated = 0
         self.probes_sent = 0
         self.failover_probes_sent = 0
         self.suspect_events = 0
@@ -72,6 +80,10 @@ class FmtcpSender(SubflowOwner):
         """
         self.subflows = list(subflows)
         self._subflow_by_id = {subflow.subflow_id: subflow for subflow in subflows}
+
+    def set_decision_hook(self, hook: Optional[DecisionHook]) -> None:
+        """Install (``None``: remove) a pluggable allocation decision."""
+        self.decision_hook = hook
 
     # ------------------------------------------------------------------
     # Path-quality snapshots for the allocator.
@@ -166,10 +178,7 @@ class FmtcpSender(SubflowOwner):
                 vector=[(pending[0].block_id, self.config.symbols_per_packet)]
             )
             return self._build_packet(subflow, result)
-        allocator = (
-            allocate_packet if self.config.allocation == "eat" else allocate_packet_greedy
-        )
-        result: AllocationResult = allocator(
+        request = AllocationRequest(
             pending_subflow_id=subflow.subflow_id,
             estimates=self.path_estimates(),
             blocks=pending,
@@ -177,7 +186,17 @@ class FmtcpSender(SubflowOwner):
             mss=self.config.mss,
             symbol_wire_size=self.config.symbol_wire_size,
             margin=self.margin,
+            now=self.sim.now,
         )
+        if self.decision_hook is not None:
+            self.decisions_delegated += 1
+            result: AllocationResult = self.decision_hook(request)
+        else:
+            result = request.run(
+                allocate_packet
+                if self.config.allocation == "eat"
+                else allocate_packet_greedy
+            )
         self.allocation_iterations += result.iterations
         if result.is_empty():
             return None

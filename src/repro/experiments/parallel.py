@@ -5,7 +5,8 @@ are embarrassingly parallel. This module fans ``run_transfer`` jobs out
 over a process pool; results come back in submission order, bit-identical
 to serial execution (each worker runs the same seeded simulation).
 
-Workers default to ``REPRO_WORKERS`` from the environment (1 = serial).
+Workers default to ``REPRO_WORKERS`` from the environment (1 = serial,
+0 = one worker per CPU core).
 """
 
 from __future__ import annotations
@@ -30,11 +31,21 @@ class TransferJob:
 
 
 def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS``.
+
+    Unset (or unparseable) stays serial — importing environments without
+    working multiprocessing must keep working. ``0`` is the explicit
+    opt-in for "use every core": it resolves to ``os.cpu_count()`` rather
+    than silently running serial. Negative values clamp to 1.
+    """
     value = os.environ.get("REPRO_WORKERS", "1")
     try:
-        return max(1, int(value))
+        workers = int(value)
     except ValueError:
         return 1
+    if workers == 0:
+        return os.cpu_count() or 1
+    return max(1, workers)
 
 
 def _execute(job: TransferJob) -> ExperimentResult:

@@ -42,7 +42,9 @@ class MptcpConfig:
     recv_buffer_chunks: int = 64
     block_bytes: int = 8192
     congestion: str = "reno"
-    scheduler: str = "minrtt"
+    # "minrtt", "roundrobin", or a ready SubflowScheduler instance (the
+    # repro.policy decision layer threads WeightedScheduler through here).
+    scheduler: Any = "minrtt"
     initial_cwnd: float = 2.0
     dup_ack_threshold: int = 3
     min_rto: float = 0.2

@@ -1,0 +1,75 @@
+"""Pluggable scheduling/redundancy policies over the FMTCP simulator.
+
+The paper hard-wires one decision procedure (Algorithm 1's EAT-ranked
+allocation); this package makes the decision layer a first-class,
+swappable axis:
+
+* :mod:`repro.policy.env` — a ``reset()/step(action)`` environment that
+  drives the discrete-event simulator between decision epochs, with a
+  versioned observation vector and a configurable reward;
+* :mod:`repro.policy.policies` — the :class:`Policy` protocol plus
+  baselines (paper EAT, round-robin, weighted-RTT, an ε-greedy
+  redundancy bandit);
+* :mod:`repro.policy.rollout` — seeded deterministic rollouts, batched
+  over a process pool, with JSONL trajectories and per-policy reports.
+
+``repro policy list|rollout|compare`` is the CLI surface.
+"""
+
+from repro.policy.env import (
+    HEADER_OBS_FIELDS,
+    OBS_VERSION,
+    SUBFLOW_OBS_FIELDS,
+    EnvConfig,
+    RewardConfig,
+    SchedulingEnv,
+    observation_names,
+)
+from repro.policy.policies import (
+    POLICIES,
+    EpsilonGreedyRedundancyPolicy,
+    PaperEATPolicy,
+    Policy,
+    RoundRobinPolicy,
+    WeightedRTTPolicy,
+    make_policy,
+    share_capped_fill,
+)
+from repro.policy.rollout import (
+    PolicyReport,
+    RolloutJob,
+    RolloutResult,
+    StepRecord,
+    compare_policies,
+    run_rollout,
+    run_rollouts,
+    summarize_rollouts,
+    write_trajectories,
+)
+
+__all__ = [
+    "OBS_VERSION",
+    "HEADER_OBS_FIELDS",
+    "SUBFLOW_OBS_FIELDS",
+    "EnvConfig",
+    "RewardConfig",
+    "SchedulingEnv",
+    "observation_names",
+    "Policy",
+    "POLICIES",
+    "PaperEATPolicy",
+    "RoundRobinPolicy",
+    "WeightedRTTPolicy",
+    "EpsilonGreedyRedundancyPolicy",
+    "make_policy",
+    "share_capped_fill",
+    "RolloutJob",
+    "RolloutResult",
+    "StepRecord",
+    "PolicyReport",
+    "run_rollout",
+    "run_rollouts",
+    "summarize_rollouts",
+    "compare_policies",
+    "write_trajectories",
+]

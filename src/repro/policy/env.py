@@ -1,0 +1,332 @@
+"""A step-driven decision environment over the FMTCP simulator.
+
+Shapes the discrete-event simulator into the canonical ``reset()`` /
+``step(action)`` loop (the Aurora packet-level environments are the
+model): the simulator advances one *decision epoch* per step, and between
+epochs a policy — built-in, scripted, or learned — controls the sender's
+allocation decisions through the pluggable hook in
+:class:`~repro.core.sender.FmtcpSender`.
+
+Observation vector (``OBS_VERSION = 1``)
+----------------------------------------
+
+A flat ``List[float]``, layout frozen per version and documented in
+``docs/policies.md``. All per-subflow fields are read through
+:func:`repro.telemetry.samplers.subflow_state_fields` — the same single
+source of truth the ``telemetry.subflow`` trace series uses — and the
+decoder fields come from ``FmtcpReceiver.decoder_stats()``:
+
+* 4 header fields: sim time, pending sender blocks, cumulative delivered
+  MB, MB delivered during the last epoch;
+* 3 decoder fields: mean rank deficit (k − k̄ over active blocks), max
+  active-block age (s), active block count;
+* 9 fields per subflow slot (``n_subflow_slots`` slots, sorted by
+  subflow id, zero-padded): present, srtt, rto, cwnd, in-flight,
+  window space, loss estimate, suspect flag, EAT.
+
+Actions
+-------
+
+``step`` accepts ``None`` (the attached policy decides per transmission
+opportunity) or a dict with optional keys:
+
+* ``"weights"`` — per-subflow-id symbol allocation weights; symbols are
+  share-capped to the weights (0 disables a path);
+* ``"redundancy"`` — absolute completeness-margin override (the paper's
+  log₂(1/δ̂) head-room), i.e. the per-block redundancy target.
+
+Reward
+------
+
+``goodput_weight`` MB-delivered-this-epoch minus ``block_delay_penalty``
+× mean delivery delay (s) of the blocks completed this epoch — the
+paper's two §V headline metrics folded into one scalar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.allocation import AllocationRequest, AllocationResult, allocate_packet
+from repro.core.config import FmtcpConfig
+from repro.core.connection import FmtcpConnection
+from repro.net.topology import PathConfig, build_two_path_network
+from repro.policy.policies import Policy, share_capped_fill
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceBus
+from repro.telemetry.samplers import fmtcp_eat_provider, subflow_state_fields
+from repro.workloads.scenarios import TABLE1_CASES, table1_path_configs
+from repro.workloads.sources import BulkSource
+
+#: Version of the observation layout. Bump on ANY change to the layout,
+#: and record the old layout in docs/policies.md.
+OBS_VERSION = 1
+
+#: Per-subflow-slot observation fields, in order.
+SUBFLOW_OBS_FIELDS = (
+    "present",
+    "srtt",
+    "rto",
+    "cwnd",
+    "in_flight",
+    "window_space",
+    "loss_est",
+    "suspect",
+    "eat",
+)
+
+#: Header + decoder observation fields, in order.
+HEADER_OBS_FIELDS = (
+    "t",
+    "pending_blocks",
+    "delivered_mbytes",
+    "epoch_goodput_mbytes",
+    "mean_rank_deficit",
+    "max_block_age_s",
+    "active_blocks",
+)
+
+
+def observation_names(n_subflow_slots: int = 2) -> List[str]:
+    """The documented name of every observation component, in order."""
+    names = list(HEADER_OBS_FIELDS)
+    for slot in range(n_subflow_slots):
+        names.extend(f"subflow{slot}.{name}" for name in SUBFLOW_OBS_FIELDS)
+    return names
+
+
+@dataclass(frozen=True)
+class RewardConfig:
+    """Weights of the scalar reward (see module docstring)."""
+
+    goodput_weight: float = 1.0
+    block_delay_penalty: float = 0.1
+
+
+@dataclass
+class EnvConfig:
+    """Everything that parameterises one environment instance."""
+
+    path_configs: Optional[Sequence[PathConfig]] = None
+    case_id: int = 4  # Table I case used when path_configs is omitted.
+    bandwidth_bps: Optional[float] = None
+    duration_s: float = 20.0
+    epoch_s: float = 0.25
+    seed: int = 1
+    fmtcp_config: Optional[FmtcpConfig] = None
+    reward: RewardConfig = field(default_factory=RewardConfig)
+
+    def resolve_paths(self) -> List[PathConfig]:
+        if self.path_configs is not None:
+            return list(self.path_configs)
+        case = next(c for c in TABLE1_CASES if c.case_id == self.case_id)
+        if self.bandwidth_bps is not None:
+            return table1_path_configs(case, self.bandwidth_bps)
+        return table1_path_configs(case)
+
+
+class _ActionHook:
+    """Decision hook that executes the most recent explicit action."""
+
+    def __init__(self) -> None:
+        self.weights: Optional[Dict[int, float]] = None
+        self.redundancy: Optional[float] = None
+        self._served: Dict[int, int] = {}
+
+    def update(self, action: Dict[str, Any]) -> None:
+        if "weights" in action and action["weights"] is not None:
+            self.weights = {
+                int(subflow_id): float(weight)
+                for subflow_id, weight in action["weights"].items()
+            }
+        if "redundancy" in action:
+            value = action["redundancy"]
+            self.redundancy = None if value is None else float(value)
+
+    def __call__(self, request: AllocationRequest) -> AllocationResult:
+        if self.redundancy is not None:
+            request = replace(request, margin=self.redundancy)
+        if self.weights is None:
+            return request.run(allocate_packet)
+        return share_capped_fill(request, self.weights, self._served)
+
+
+class SchedulingEnv:
+    """Drive an FMTCP transfer one decision epoch at a time."""
+
+    def __init__(self, config: Optional[EnvConfig] = None, **overrides: Any):
+        if config is None:
+            config = EnvConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config or keyword overrides, not both")
+        self.config = config
+        self.n_subflow_slots = len(config.resolve_paths())
+        self._policy: Optional[Policy] = None
+        self._action_hook: Optional[_ActionHook] = None
+        self._connection: Optional[FmtcpConnection] = None
+        self._sim: Optional[Simulator] = None
+        self._done = True
+        self._epoch_delays: List[float] = []
+        self._last_delivered = 0
+        self._epoch_goodput_mb = 0.0
+        self.episodes = 0
+        self.steps_taken = 0
+
+    # ------------------------------------------------------------------
+    # Episode lifecycle.
+    # ------------------------------------------------------------------
+    def reset(self, seed: Optional[int] = None) -> List[float]:
+        """Build a fresh simulation; returns the initial observation."""
+        self.close()
+        if seed is not None:
+            self.config.seed = seed
+        config = self.config
+        self._sim = Simulator()
+        rng = RngStreams(config.seed)
+        self._trace = TraceBus()
+        __, paths = build_two_path_network(
+            config.resolve_paths(), sim=self._sim, rng=rng, trace=self._trace
+        )
+        self._connection = FmtcpConnection(
+            sim=self._sim,
+            paths=paths,
+            source=BulkSource(),
+            config=config.fmtcp_config or FmtcpConfig(),
+            trace=self._trace,
+            rng=rng,
+        )
+        self._eat_provider = fmtcp_eat_provider(self._connection.sender)
+        self._trace.subscribe("conn.block_done", self._on_block_done)
+        self._epoch_delays = []
+        self._last_delivered = 0
+        self._epoch_goodput_mb = 0.0
+        self._done = False
+        self.episodes += 1
+        if self._policy is not None:
+            self._install_policy(self._policy)
+        self._connection.start()
+        return self._observe()
+
+    def attach_policy(self, policy: Optional[Policy]) -> None:
+        """Let ``policy`` take every allocation decision of this episode.
+
+        ``None`` detaches (the sender falls back to its configured
+        allocator until an explicit action installs the action hook).
+        """
+        self._policy = policy
+        if self._connection is not None:
+            self._install_policy(policy)
+
+    def _install_policy(self, policy: Optional[Policy]) -> None:
+        self._action_hook = None
+        if policy is None:
+            self._connection.sender.set_decision_hook(None)
+        else:
+            policy.reset(self.config.seed)
+            self._connection.sender.set_decision_hook(policy.decide)
+
+    def step(
+        self, action: Optional[Dict[str, Any]] = None
+    ) -> Tuple[List[float], float, bool, Dict[str, Any]]:
+        """Advance one decision epoch; returns ``(obs, reward, done, info)``."""
+        if self._done or self._connection is None:
+            raise RuntimeError("step() after episode end — call reset() first")
+        if action is not None:
+            if self._policy is not None:
+                raise ValueError(
+                    "explicit actions conflict with an attached policy; "
+                    "detach it (attach_policy(None)) to drive the env directly"
+                )
+            if self._action_hook is None:
+                self._action_hook = _ActionHook()
+                self._connection.sender.set_decision_hook(self._action_hook)
+            self._action_hook.update(action)
+            # A changed action can unblock subflows that were declined
+            # symbols under the previous one — offer opportunities now.
+            self._connection.pump()
+
+        self._epoch_delays = []
+        start_bytes = self._connection.delivered_bytes
+        target = min(self._sim.now + self.config.epoch_s, self.config.duration_s)
+        self._sim.run(until=target)
+        self.steps_taken += 1
+
+        delivered = self._connection.delivered_bytes
+        self._epoch_goodput_mb = (delivered - start_bytes) / 1e6
+        self._last_delivered = delivered
+        reward = self.config.reward.goodput_weight * self._epoch_goodput_mb
+        mean_delay = 0.0
+        if self._epoch_delays:
+            mean_delay = sum(self._epoch_delays) / len(self._epoch_delays)
+            reward -= self.config.reward.block_delay_penalty * mean_delay
+        self._done = self._sim.now >= self.config.duration_s - 1e-12
+        info = {
+            "t": self._sim.now,
+            "delivered_bytes": delivered,
+            "blocks_done_epoch": len(self._epoch_delays),
+            "mean_block_delay_s": mean_delay,
+            "obs_version": OBS_VERSION,
+        }
+        return self._observe(), reward, self._done, info
+
+    def close(self) -> None:
+        """Tear down the current episode's simulation, if any."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+        self._sim = None
+        self._done = True
+
+    # ------------------------------------------------------------------
+    # Observation building (layout frozen per OBS_VERSION).
+    # ------------------------------------------------------------------
+    def _on_block_done(self, record) -> None:
+        self._epoch_delays.append(float(record["delay"]))
+
+    def _observe(self) -> List[float]:
+        connection = self._connection
+        stats = connection.receiver.decoder_stats()
+        deficits = [entry["deficit"] for entry in stats]
+        ages = [entry["age_s"] for entry in stats]
+        obs = [
+            self._sim.now,
+            float(len(connection.block_manager.pending_blocks)),
+            connection.delivered_bytes / 1e6,
+            self._epoch_goodput_mb,
+            (sum(deficits) / len(deficits)) if deficits else 0.0,
+            max(ages) if ages else 0.0,
+            float(len(stats)),
+        ]
+        eats = self._eat_provider()
+        subflows = sorted(connection.subflows, key=lambda sf: sf.subflow_id)
+        for slot in range(self.n_subflow_slots):
+            if slot < len(subflows):
+                subflow = subflows[slot]
+                fields = subflow_state_fields(
+                    subflow, eats.get(subflow.subflow_id)
+                )
+                obs.extend(
+                    [
+                        1.0,
+                        fields["srtt"],
+                        fields["rto"],
+                        float(fields["cwnd"]),
+                        float(fields["in_flight"]),
+                        float(fields["window_space"]),
+                        fields["loss_est"],
+                        1.0 if fields["suspect"] else 0.0,
+                        fields["eat"] if fields["eat"] is not None else 0.0,
+                    ]
+                )
+            else:
+                obs.extend([0.0] * len(SUBFLOW_OBS_FIELDS))
+        return obs
+
+    def observation_names(self) -> List[str]:
+        return observation_names(self.n_subflow_slots)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else f"t={self._sim.now:.2f}"
+        return f"<SchedulingEnv {state} episodes={self.episodes}>"

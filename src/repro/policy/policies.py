@@ -1,0 +1,280 @@
+"""Pluggable allocation policies for the FMTCP decision layer.
+
+The paper fixes one decision procedure — Algorithm 1's EAT-ranked
+virtual allocation — but the coding-rate/scheduling decision is the
+interesting design axis for coded multipath transports (CTCP makes the
+same point for coded TCP). This module turns that decision into a small
+protocol:
+
+* :meth:`Policy.decide` runs once per transmission opportunity and maps
+  an :class:`~repro.core.allocation.AllocationRequest` to the description
+  vector actually transmitted (an empty result declines the opportunity);
+* :meth:`Policy.on_epoch` runs once per decision epoch of the
+  :class:`~repro.policy.env.SchedulingEnv` with the observation vector
+  and the previous epoch's reward, and returns the (JSON-serialisable)
+  action parameters now in force — this is where adaptive policies learn.
+
+Baselines:
+
+* :class:`PaperEATPolicy` — Algorithm 1 verbatim. Routed through the
+  sender's decision hook it reproduces the default behaviour
+  byte-identically, proving the hook itself costs nothing.
+* :class:`RoundRobinPolicy` — equal symbol shares regardless of quality.
+* :class:`WeightedRTTPolicy` — shares proportional to 1/SRTT.
+* :class:`EpsilonGreedyRedundancyPolicy` — a bandit that keeps Algorithm
+  1's ranking but adapts per-path redundancy (the loss pessimism that
+  drives Eq. 8's expected-gain term) to the reward signal.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Any, Dict, Optional, Sequence
+
+from repro.core.allocation import (
+    AllocationRequest,
+    AllocationResult,
+    allocate_packet,
+    allocate_packet_greedy,
+)
+
+# Loss assumptions stay clamped below the sender's own ceiling so EDT/RT
+# formulas remain finite whatever a policy inflates them to.
+_MAX_LOSS = 0.95
+
+
+class Policy:
+    """Base class: the paper's behaviour, with no epoch-level adaptation."""
+
+    name = "policy"
+
+    def reset(self, seed: int = 0) -> None:
+        """(Re)initialise internal state; called once per rollout."""
+
+    def decide(self, request: AllocationRequest) -> AllocationResult:
+        raise NotImplementedError
+
+    def action(self) -> Dict[str, Any]:
+        """The action parameters currently in force (for trajectories)."""
+        return {}
+
+    def on_epoch(self, obs: Sequence[float], reward: float) -> Dict[str, Any]:
+        """Observe one decision epoch; returns the action now in force."""
+        return self.action()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class PaperEATPolicy(Policy):
+    """Algorithm 1, unchanged — the zero-cost-hook proof.
+
+    ``decide`` forwards the request to :func:`allocate_packet` with the
+    exact arguments the sender would have used, so golden traces are
+    byte-identical with or without the hook installed.
+    """
+
+    name = "paper-eat"
+
+    def decide(self, request: AllocationRequest) -> AllocationResult:
+        return request.run(allocate_packet)
+
+    def action(self) -> Dict[str, Any]:
+        return {"mode": "eat"}
+
+
+def share_capped_fill(
+    request: AllocationRequest,
+    weights: Dict[int, float],
+    served: Dict[int, int],
+    slack_packets: int = 2,
+) -> AllocationResult:
+    """Grant a greedy fill iff the requester is within its weighted share.
+
+    The pull-based sender offers opportunities whenever a window opens;
+    a share policy cannot *push* symbols onto a subflow, only decline the
+    over-served ones so the under-served catch up when their windows
+    open. ``served`` (symbols granted so far, updated in place) is the
+    policy's memory; ``slack_packets`` of head-room avoids start-up
+    deadlock and lets every path make progress while the shares converge.
+    """
+    me = request.pending_subflow_id
+    my_weight = weights.get(me, 0.0)
+    if my_weight <= 0.0:
+        return AllocationResult()
+    total_weight = sum(max(weight, 0.0) for weight in weights.values())
+    total_served = sum(served.get(subflow_id, 0) for subflow_id in weights)
+    slack = slack_packets * request.symbols_per_packet
+    if total_served > slack:
+        my_share = served.get(me, 0) / total_served
+        if my_share > my_weight / total_weight and served.get(me, 0) > slack:
+            return AllocationResult()
+    result = request.run(allocate_packet_greedy)
+    if result.total_symbols:
+        served[me] = served.get(me, 0) + result.total_symbols
+    return result
+
+
+class RoundRobinPolicy(Policy):
+    """Equal symbol shares across live subflows, ignoring path quality.
+
+    The multipath analogue of the MPTCP round-robin scheduler ablation:
+    a lossy or slow path is fed exactly as many symbols as the best one,
+    so goodput degrades toward N× the worst path's rate — the behaviour
+    Algorithm 1 exists to avoid.
+    """
+
+    name = "roundrobin"
+
+    def __init__(self, slack_packets: int = 2):
+        self.slack_packets = slack_packets
+        self._served: Dict[int, int] = {}
+
+    def reset(self, seed: int = 0) -> None:
+        self._served = {}
+
+    def decide(self, request: AllocationRequest) -> AllocationResult:
+        weights = {estimate.subflow_id: 1.0 for estimate in request.estimates}
+        return share_capped_fill(
+            request, weights, self._served, self.slack_packets
+        )
+
+    def action(self) -> Dict[str, Any]:
+        return {"mode": "share", "weights": "equal"}
+
+
+class WeightedRTTPolicy(Policy):
+    """Symbol shares proportional to 1/SRTT (fast paths carry more).
+
+    A quality-aware heuristic one notch below the paper's: it reacts to
+    delay but not to loss, so it beats round-robin on asymmetric-delay
+    cases and still overfeeds a lossy-but-fast path.
+    """
+
+    name = "weighted-rtt"
+
+    def __init__(self, slack_packets: int = 2):
+        self.slack_packets = slack_packets
+        self._served: Dict[int, int] = {}
+
+    def reset(self, seed: int = 0) -> None:
+        self._served = {}
+
+    def decide(self, request: AllocationRequest) -> AllocationResult:
+        weights = {
+            estimate.subflow_id: 1.0 / max(estimate.rtt, 1e-3)
+            for estimate in request.estimates
+        }
+        return share_capped_fill(
+            request, weights, self._served, self.slack_packets
+        )
+
+    def action(self) -> Dict[str, Any]:
+        return {"mode": "share", "weights": "1/srtt"}
+
+
+class EpsilonGreedyRedundancyPolicy(Policy):
+    """Bandit-adapted per-path redundancy on top of Algorithm 1.
+
+    Eq. (8) discounts in-flight symbols by the estimated loss rate; the
+    estimate lags reality whenever loss shifts, so the right pessimism is
+    itself a decision. Each epoch this policy picks, per path, a loss
+    inflation factor (an *arm*) ε-greedily by the average epoch reward it
+    has produced; ``decide`` then runs the unmodified EAT allocator
+    against the inflated loss view, which makes the allocator send extra
+    symbols to cover the path's losses (more redundancy) exactly where
+    the bandit has learned it pays.
+    """
+
+    name = "egreedy-redundancy"
+
+    #: Loss inflation factors selectable per path.
+    ARMS = (1.0, 1.5, 2.0)
+
+    def __init__(self, epsilon: float = 0.1):
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+        self.epsilon = epsilon
+        self._rng = random.Random(0)
+        self._factors: Dict[int, float] = {}
+        self._arm_of: Dict[int, int] = {}
+        self._counts: Dict[int, list] = {}
+        self._values: Dict[int, list] = {}
+
+    def reset(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._factors = {}
+        self._arm_of = {}
+        self._counts = {}
+        self._values = {}
+
+    def _ensure_path(self, subflow_id: int) -> None:
+        if subflow_id not in self._counts:
+            self._counts[subflow_id] = [0] * len(self.ARMS)
+            self._values[subflow_id] = [0.0] * len(self.ARMS)
+            self._arm_of[subflow_id] = 0
+            self._factors[subflow_id] = self.ARMS[0]
+
+    def decide(self, request: AllocationRequest) -> AllocationResult:
+        for estimate in request.estimates:
+            self._ensure_path(estimate.subflow_id)
+        factors = self._factors
+        base_loss_of = request.loss_rate_of
+
+        def inflated_loss_of(subflow_id: int) -> float:
+            loss = base_loss_of(subflow_id)
+            return min(loss * factors.get(subflow_id, 1.0), _MAX_LOSS)
+
+        return replace(request, loss_rate_of=inflated_loss_of).run(allocate_packet)
+
+    def on_epoch(self, obs: Sequence[float], reward: float) -> Dict[str, Any]:
+        # Credit the arms that were in force during the epoch just ended.
+        for subflow_id, arm in self._arm_of.items():
+            counts = self._counts[subflow_id]
+            values = self._values[subflow_id]
+            counts[arm] += 1
+            values[arm] += (reward - values[arm]) / counts[arm]
+        # Pick next epoch's arms (explore with probability ε, else best).
+        for subflow_id in sorted(self._counts):
+            if self._rng.random() < self.epsilon:
+                arm = self._rng.randrange(len(self.ARMS))
+            else:
+                values = self._values[subflow_id]
+                arm = max(range(len(self.ARMS)), key=lambda a: (values[a], -a))
+            self._arm_of[subflow_id] = arm
+            self._factors[subflow_id] = self.ARMS[arm]
+        return self.action()
+
+    def action(self) -> Dict[str, Any]:
+        return {
+            "mode": "egreedy",
+            "epsilon": self.epsilon,
+            "loss_inflation": {
+                str(subflow_id): factor
+                for subflow_id, factor in sorted(self._factors.items())
+            },
+        }
+
+
+#: Registry of constructable policies (the ``repro policy`` CLI menu).
+POLICIES = {
+    PaperEATPolicy.name: PaperEATPolicy,
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    WeightedRTTPolicy.name: WeightedRTTPolicy,
+    EpsilonGreedyRedundancyPolicy.name: EpsilonGreedyRedundancyPolicy,
+}
+
+
+def make_policy(name: str, **kwargs: Any) -> Policy:
+    """Instantiate a registered policy by name.
+
+    Raises ``ValueError`` naming the available policies — the CLI turns
+    that into its exit-2 menu, matching the faults-preset convention.
+    """
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        available = ", ".join(sorted(POLICIES))
+        raise ValueError(f"unknown policy {name!r} (available: {available})")
+    return factory(**kwargs)

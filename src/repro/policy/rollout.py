@@ -1,0 +1,234 @@
+"""Seeded, deterministic, batched policy rollouts.
+
+One rollout = one :class:`~repro.policy.env.SchedulingEnv` episode driven
+by one policy, producing a per-step ``(obs, action, reward)`` trajectory
+plus episode aggregates. Rollout batches fan out over a process pool the
+same way ``repro.experiments.parallel`` fans transfer jobs: every job is
+an isolated seeded simulation, so parallel results are bit-identical to
+serial ones and come back in submission order.
+
+Trajectories serialise to JSONL (one step per line, self-describing with
+policy/seed/obs-version metadata) so downstream consumers — plotting,
+offline analysis, a future training stack — need no repro imports.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.parallel import default_workers
+from repro.metrics.stats import mean
+from repro.policy.env import OBS_VERSION, EnvConfig, RewardConfig, SchedulingEnv
+from repro.policy.policies import make_policy
+
+
+@dataclass
+class RolloutJob:
+    """One policy × seed × scenario episode, described declaratively."""
+
+    policy: str
+    seed: int = 1
+    case_id: int = 4
+    duration_s: float = 15.0
+    epoch_s: float = 0.25
+    bandwidth_bps: Optional[float] = None
+    policy_kwargs: Dict[str, Any] = field(default_factory=dict)
+    reward: RewardConfig = field(default_factory=RewardConfig)
+
+
+@dataclass
+class StepRecord:
+    """One decision epoch of a trajectory."""
+
+    t: float
+    obs: List[float]
+    action: Dict[str, Any]
+    reward: float
+
+
+@dataclass
+class RolloutResult:
+    """One episode's trajectory and aggregates."""
+
+    policy: str
+    seed: int
+    case_id: int
+    duration_s: float
+    epoch_s: float
+    obs_version: int
+    steps: List[StepRecord]
+    total_reward: float
+    goodput_mbytes: float
+    blocks_done: int
+    mean_block_delay_ms: float
+
+    def trajectory_lines(self) -> List[str]:
+        """The episode as JSONL lines (one step per line)."""
+        lines = []
+        for index, step in enumerate(self.steps):
+            lines.append(
+                json.dumps(
+                    {
+                        "policy": self.policy,
+                        "seed": self.seed,
+                        "case": self.case_id,
+                        "obs_version": self.obs_version,
+                        "step": index,
+                        "t": round(step.t, 9),
+                        "obs": step.obs,
+                        "action": step.action,
+                        "reward": step.reward,
+                    },
+                    sort_keys=True,
+                )
+            )
+        return lines
+
+
+def run_rollout(job: RolloutJob) -> RolloutResult:
+    """Execute one rollout episode and collect its trajectory."""
+    policy = make_policy(job.policy, **job.policy_kwargs)
+    env = SchedulingEnv(
+        EnvConfig(
+            case_id=job.case_id,
+            bandwidth_bps=job.bandwidth_bps,
+            duration_s=job.duration_s,
+            epoch_s=job.epoch_s,
+            seed=job.seed,
+            reward=job.reward,
+        )
+    )
+    env.attach_policy(policy)
+    obs = env.reset()
+    steps: List[StepRecord] = []
+    reward = 0.0
+    total_reward = 0.0
+    blocks_done = 0
+    delay_weighted = 0.0
+    done = False
+    while not done:
+        action = policy.on_epoch(obs, reward)
+        obs, reward, done, info = env.step()
+        total_reward += reward
+        blocks_done += info["blocks_done_epoch"]
+        delay_weighted += info["mean_block_delay_s"] * info["blocks_done_epoch"]
+        steps.append(
+            StepRecord(t=info["t"], obs=obs, action=action, reward=reward)
+        )
+    delivered_mb = steps[-1].obs[2] if steps else 0.0
+    env.close()
+    return RolloutResult(
+        policy=job.policy,
+        seed=job.seed,
+        case_id=job.case_id,
+        duration_s=job.duration_s,
+        epoch_s=job.epoch_s,
+        obs_version=OBS_VERSION,
+        steps=steps,
+        total_reward=total_reward,
+        goodput_mbytes=delivered_mb,
+        blocks_done=blocks_done,
+        mean_block_delay_ms=(delay_weighted / blocks_done * 1e3)
+        if blocks_done
+        else 0.0,
+    )
+
+
+def run_rollouts(
+    jobs: Sequence[RolloutJob], workers: Optional[int] = None
+) -> List[RolloutResult]:
+    """Run all jobs, fanned over a process pool when ``workers`` > 1.
+
+    Results come back in job order; each worker runs the same seeded
+    simulation it would serially, so the batch is bit-identical either
+    way (mirrors ``repro.experiments.parallel.run_jobs``).
+    """
+    workers = workers if workers is not None else default_workers()
+    if workers <= 1 or len(jobs) <= 1:
+        return [run_rollout(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+        return list(pool.map(run_rollout, jobs))
+
+
+def write_trajectories(results: Sequence[RolloutResult], path: str) -> int:
+    """Append-free JSONL dump of every step of every rollout; returns lines."""
+    lines = []
+    for result in results:
+        lines.extend(result.trajectory_lines())
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+@dataclass
+class PolicyReport:
+    """Aggregates of one policy across a seed batch."""
+
+    policy: str
+    case_id: int
+    seeds: List[int]
+    goodput_mbytes_mean: float
+    goodput_mbytes_min: float
+    goodput_mbytes_max: float
+    total_reward_mean: float
+    mean_block_delay_ms: float
+    blocks_done_mean: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def summarize_rollouts(results: Sequence[RolloutResult]) -> PolicyReport:
+    """Fold one policy's seed batch into a :class:`PolicyReport`."""
+    if not results:
+        raise ValueError("need at least one rollout result")
+    policies = {result.policy for result in results}
+    if len(policies) != 1:
+        raise ValueError(f"mixed policies in one report: {sorted(policies)}")
+    goodputs = [result.goodput_mbytes for result in results]
+    return PolicyReport(
+        policy=results[0].policy,
+        case_id=results[0].case_id,
+        seeds=[result.seed for result in results],
+        goodput_mbytes_mean=mean(goodputs),
+        goodput_mbytes_min=min(goodputs),
+        goodput_mbytes_max=max(goodputs),
+        total_reward_mean=mean([result.total_reward for result in results]),
+        mean_block_delay_ms=mean(
+            [result.mean_block_delay_ms for result in results]
+        ),
+        blocks_done_mean=mean([float(result.blocks_done) for result in results]),
+    )
+
+
+def compare_policies(
+    policies: Sequence[str],
+    seeds: Sequence[int] = (1, 2, 3),
+    case_id: int = 4,
+    duration_s: float = 15.0,
+    epoch_s: float = 0.25,
+    workers: Optional[int] = None,
+) -> List[PolicyReport]:
+    """Batched same-seed comparison of several policies on one scenario."""
+    jobs = [
+        RolloutJob(
+            policy=policy,
+            seed=seed,
+            case_id=case_id,
+            duration_s=duration_s,
+            epoch_s=epoch_s,
+        )
+        for policy in policies
+        for seed in seeds
+    ]
+    results = run_rollouts(jobs, workers=workers)
+    reports = []
+    per_policy = len(seeds)
+    for index, policy in enumerate(policies):
+        batch = results[index * per_policy : (index + 1) * per_policy]
+        reports.append(summarize_rollouts(batch))
+    return reports

@@ -24,6 +24,7 @@ from repro.telemetry.samplers import (
     SubflowSampler,
     attach_samplers,
     fmtcp_eat_provider,
+    subflow_state_fields,
 )
 from repro.telemetry.session import TelemetryConfig, TelemetryReport, TelemetrySession
 from repro.telemetry.traceview import (
@@ -50,6 +51,7 @@ __all__ = [
     "ConnectionSampler",
     "attach_samplers",
     "fmtcp_eat_provider",
+    "subflow_state_fields",
     "TelemetryConfig",
     "TelemetryReport",
     "TelemetrySession",

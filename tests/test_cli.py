@@ -9,7 +9,8 @@ def test_parser_knows_all_commands():
     parser = build_parser()
     for command in (
         "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "analysis",
-        "fairness", "replicate", "heatmap", "sensitivity", "faults", "all",
+        "fairness", "replicate", "heatmap", "sensitivity", "faults",
+        "policy", "all",
     ):
         args = parser.parse_args(
             [command] if command != "fig4" else [command, "--surge", "0.2"]
@@ -175,3 +176,52 @@ def test_faults_unknown_scenario_menu_includes_corruption(capsys):
     assert main(["faults", "--scenario", "nonsense"]) == 2
     captured = capsys.readouterr()
     assert "bit_rot" in captured.out and "corruption_burst" in captured.out
+
+
+def test_policy_list_command(capsys):
+    assert main(["policy", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("paper-eat", "roundrobin", "weighted-rtt", "egreedy-redundancy"):
+        assert name in out
+
+
+def test_policy_bare_prints_help(capsys):
+    assert main(["policy"]) == 0
+    out = capsys.readouterr().out
+    assert "rollout" in out and "compare" in out and "list" in out
+
+
+def test_policy_unknown_name_exits_2_with_menu(capsys):
+    for command in ("rollout", "compare"):
+        assert main(["policy", command, "--policy", "nonsense"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown policy 'nonsense'" in captured.err
+        # The user gets the policy menu instead of a traceback.
+        assert "paper-eat" in captured.out
+        assert "egreedy-redundancy" in captured.out
+
+
+def test_policy_rollout_command(tmp_path, capsys):
+    out_file = tmp_path / "traj.jsonl"
+    assert main(
+        ["--duration", "2", "policy", "rollout", "--policy", "paper-eat",
+         "--seeds", "1", "--out", str(out_file), "--workers", "1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "paper-eat" in out and "good(MB)" in out
+    lines = out_file.read_text().splitlines()
+    assert len(lines) == 8  # 2 s / 0.25 s epochs
+    import json as _json
+
+    record = _json.loads(lines[0])
+    assert record["policy"] == "paper-eat" and record["obs_version"] >= 1
+
+
+def test_policy_compare_command(capsys):
+    assert main(
+        ["--duration", "2", "policy", "compare", "--policy", "paper-eat",
+         "--policy", "roundrobin", "--seeds", "2", "--workers", "1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Table I case 4" in out
+    assert "paper-eat" in out and "roundrobin" in out

@@ -61,6 +61,18 @@ def test_default_workers_env(monkeypatch):
     assert default_workers() == 1
 
 
+def test_default_workers_zero_means_one_per_core(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "0")
+    assert default_workers() == (os.cpu_count() or 1)
+
+
+def test_default_workers_clamps_negatives(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "-3")
+    assert default_workers() == 1
+    monkeypatch.setenv("REPRO_WORKERS", "-1")
+    assert default_workers() == 1
+
+
 def test_table1_suite_parallel_consistency(monkeypatch):
     """The memoised Table I suite must be identical serial vs parallel."""
     from repro.experiments.figures import run_table1_suite

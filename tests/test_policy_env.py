@@ -1,0 +1,169 @@
+"""SchedulingEnv: the reset()/step() loop over the FMTCP simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policy import (
+    HEADER_OBS_FIELDS,
+    OBS_VERSION,
+    SUBFLOW_OBS_FIELDS,
+    EnvConfig,
+    RewardConfig,
+    SchedulingEnv,
+    make_policy,
+    observation_names,
+)
+
+
+def make_env(**overrides):
+    overrides.setdefault("duration_s", 2.0)
+    overrides.setdefault("epoch_s", 0.25)
+    return SchedulingEnv(EnvConfig(**overrides))
+
+
+def run_episode(env, policy_name=None, seed=1):
+    """Roll one episode; returns (observations, rewards, infos)."""
+    if policy_name is not None:
+        env.attach_policy(make_policy(policy_name))
+    env.config.seed = seed
+    observations = [env.reset()]
+    rewards, infos = [], []
+    done = False
+    while not done:
+        obs, reward, done, info = env.step()
+        observations.append(obs)
+        rewards.append(reward)
+        infos.append(info)
+    env.close()
+    return observations, rewards, infos
+
+
+def test_observation_layout_matches_names():
+    env = make_env()
+    obs = env.reset()
+    names = env.observation_names()
+    assert len(obs) == len(names)
+    assert len(names) == len(HEADER_OBS_FIELDS) + 2 * len(SUBFLOW_OBS_FIELDS)
+    assert names[: len(HEADER_OBS_FIELDS)] == list(HEADER_OBS_FIELDS)
+    assert names[len(HEADER_OBS_FIELDS)] == "subflow0.present"
+    env.close()
+
+
+def test_observation_names_helper_padding():
+    assert len(observation_names(3)) == len(HEADER_OBS_FIELDS) + 3 * len(
+        SUBFLOW_OBS_FIELDS
+    )
+
+
+def test_episode_runs_to_duration_and_delivers():
+    env = make_env(duration_s=2.0)
+    observations, rewards, infos = run_episode(env)
+    # 2.0 s / 0.25 s epochs = 8 steps.
+    assert len(rewards) == 8
+    assert infos[-1]["t"] == pytest.approx(2.0)
+    assert infos[-1]["obs_version"] == OBS_VERSION
+    assert infos[-1]["delivered_bytes"] > 0
+    # Goodput-dominated reward: positive overall.
+    assert sum(rewards) > 0
+
+
+def test_step_after_done_raises():
+    env = make_env(duration_s=0.5)
+    run_episode(env)
+    env2 = make_env(duration_s=0.5)
+    env2.reset()
+    done = False
+    while not done:
+        __, __, done, __ = env2.step()
+    with pytest.raises(RuntimeError):
+        env2.step()
+    env2.close()
+
+
+def test_reset_reseeds_and_reproduces():
+    env = make_env(duration_s=1.0)
+    first = run_episode(env, seed=7)
+    env = make_env(duration_s=1.0)
+    second = run_episode(env, seed=7)
+    assert first[0] == second[0]  # identical observation sequences
+    assert first[1] == second[1]  # identical rewards
+    env = make_env(duration_s=1.0)
+    other = run_episode(env, seed=8)
+    assert first[0] != other[0]  # a different seed actually differs
+
+
+def test_explicit_action_conflicts_with_attached_policy():
+    env = make_env()
+    env.attach_policy(make_policy("paper-eat"))
+    env.reset()
+    with pytest.raises(ValueError):
+        env.step({"weights": {0: 1.0, 1: 1.0}})
+    env.close()
+
+
+def test_explicit_weight_action_disables_a_path():
+    env = make_env(duration_s=2.0)
+    env.reset()
+    done = False
+    while not done:
+        __, __, done, __ = env.step({"weights": {0: 1.0, 1: 0.0}})
+    one_path = env._last_delivered
+    env.reset()
+    done = False
+    while not done:
+        __, __, done, __ = env.step({"weights": {0: 1.0, 1: 1.0}})
+    both_paths = env._last_delivered
+    env.close()
+    assert one_path > 0
+    assert both_paths > one_path  # the starved path really was starved
+
+
+def test_redundancy_action_overrides_margin():
+    env = make_env(duration_s=1.0)
+    env.reset()
+    env.step({"redundancy": 4.0})
+    hook = env._action_hook
+    assert hook is not None and hook.redundancy == 4.0
+    env.step({"redundancy": None})
+    assert hook.redundancy is None
+    env.close()
+
+
+def test_block_delay_penalty_reduces_reward():
+    plain = make_env(duration_s=2.0, reward=RewardConfig(block_delay_penalty=0.0))
+    penal = make_env(duration_s=2.0, reward=RewardConfig(block_delay_penalty=5.0))
+    __, plain_rewards, __ = run_episode(plain, seed=3)
+    __, penal_rewards, __ = run_episode(penal, seed=3)
+    assert sum(penal_rewards) < sum(plain_rewards)
+
+
+def test_config_and_overrides_are_exclusive():
+    with pytest.raises(ValueError):
+        SchedulingEnv(EnvConfig(), duration_s=1.0)
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=1, max_value=10_000))
+def test_observations_deterministic_across_repeated_rollouts(seed):
+    """Same seed, same policy => byte-identical observation stream.
+
+    The ISSUE's determinism property: repeated rollouts may not diverge,
+    whatever the seed, or trajectories and golden comparisons are
+    meaningless.
+    """
+    runs = []
+    for __ in range(2):
+        env = make_env(duration_s=1.0)
+        env.attach_policy(make_policy("egreedy-redundancy"))
+        env.config.seed = seed
+        obs = [env.reset()]
+        rewards = []
+        done = False
+        while not done:
+            observation, reward, done, __info = env.step()
+            obs.append(observation)
+            rewards.append(reward)
+        env.close()
+        runs.append((obs, rewards))
+    assert runs[0] == runs[1]
