@@ -1,0 +1,120 @@
+"""Goodput vs. receive-buffer budget: the buffer-blocking sweep.
+
+The motivation the paper opens with (Section II, citing Iyengar et al.):
+multipath TCP under heterogeneous paths needs a *large* receive buffer,
+because a loss on the slow path stalls the in-order frontier while
+fast-path data piles up out of order — with a small buffer the advertised
+window collapses and every path stops. FMTCP's fountain coding removes
+the per-packet ordering dependency (any fresh symbol repairs a loss), so
+its goodput should degrade less as the buffer budget shrinks.
+
+Both stacks run with end-to-end flow control on and the *same byte
+budget*; FMTCP additionally sizes its block k̂ against the buffer as
+Section III-B prescribes. Writes the human-readable report plus the
+machine-readable baseline ``benchmarks/results/BENCH_bufferblock.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.conftest import RESULTS_DIR, bench_duration
+from repro.metrics.stats import mean
+from repro.robustness.exhaustion import BUFFERBLOCK_PATHS, measure_bufferblock
+
+BUDGETS = (16_384, 32_768, 65_536, 131_072)
+SEEDS = (1,) if os.environ.get("REPRO_FAST") else (1, 2, 3)
+
+
+def _duration() -> float:
+    # Blocking episodes are RTO-scale (~1 s) events; runs shorter than
+    # ~40 s are dominated by a handful of them and the comparison turns
+    # into seed noise, so this sweep floors the smoke-mode duration.
+    return max(bench_duration(), 40.0)
+
+
+def _measure_all():
+    duration = _duration()
+    results = {}
+    for protocol in ("fmtcp", "mptcp"):
+        per_budget = {}
+        for budget in BUDGETS:
+            runs = [
+                measure_bufferblock(
+                    protocol, budget, seed=seed, duration_s=duration
+                )
+                for seed in SEEDS
+            ]
+            per_budget[str(budget)] = {
+                "goodput_mbytes_per_s": round(
+                    mean([run["goodput_mbytes_per_s"] for run in runs]), 4
+                ),
+                "budget_units": runs[0]["budget_units"],
+                "peak_occupancy": max(run["peak_occupancy"] for run in runs),
+            }
+        results[protocol] = per_budget
+    return results
+
+
+def test_bufferblock_sweep(benchmark, report):
+    results = benchmark.pedantic(_measure_all, rounds=1, iterations=1)
+
+    lines = [
+        "Goodput (MB/s) vs receive-buffer budget, flow control on, "
+        f"seeds {list(SEEDS)} (mean):",
+        f"paths {BUFFERBLOCK_PATHS}",
+        f"{'budget':>8}  " + "  ".join(f"{p:>8}" for p in results),
+    ]
+    for budget in BUDGETS:
+        lines.append(
+            f"{budget:>8}  "
+            + "  ".join(
+                f"{results[p][str(budget)]['goodput_mbytes_per_s']:>8.4f}"
+                for p in results
+            )
+        )
+    smallest, largest = str(BUDGETS[0]), str(BUDGETS[-1])
+    for protocol, per_budget in results.items():
+        retained = (
+            per_budget[smallest]["goodput_mbytes_per_s"]
+            / max(per_budget[largest]["goodput_mbytes_per_s"], 1e-9)
+        )
+        lines.append(
+            f"{protocol}: retains {retained:.1%} of large-buffer goodput "
+            f"at {BUDGETS[0] // 1024} KiB"
+        )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_bufferblock.json").write_text(
+        json.dumps(
+            {
+                "budgets_bytes": list(BUDGETS),
+                "seeds": list(SEEDS),
+                "duration_s": _duration(),
+                "paths": [list(p) for p in BUFFERBLOCK_PATHS],
+                "results": results,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    report("bufferblock_sweep", lines)
+
+    fmtcp_small = results["fmtcp"][smallest]["goodput_mbytes_per_s"]
+    mptcp_small = results["mptcp"][smallest]["goodput_mbytes_per_s"]
+    # The paper's claim, at its sharpest point: with the tightest buffer
+    # FMTCP must strictly beat MPTCP.
+    assert fmtcp_small > mptcp_small, (
+        f"FMTCP ({fmtcp_small} MB/s) should beat MPTCP ({mptcp_small} MB/s) "
+        f"at the {BUDGETS[0] // 1024} KiB budget"
+    )
+    # And memory stays within the licensed unit budget for both stacks.
+    for protocol, per_budget in results.items():
+        for budget in BUDGETS:
+            point = per_budget[str(budget)]
+            assert point["peak_occupancy"] <= point["budget_units"], (
+                f"{protocol} at {budget}B: peak occupancy "
+                f"{point['peak_occupancy']} exceeds licence "
+                f"{point['budget_units']}"
+            )

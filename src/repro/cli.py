@@ -273,7 +273,12 @@ def cmd_replicate(args: argparse.Namespace) -> None:
 
 
 def _print_fault_scenarios() -> None:
-    from repro.faults import CORRUPTION_SCENARIOS, MOBILITY_SCENARIOS, SCENARIOS
+    from repro.faults import (
+        CORRUPTION_SCENARIOS,
+        EXHAUSTION_SCENARIOS,
+        MOBILITY_SCENARIOS,
+        SCENARIOS,
+    )
 
     print("Preset fault scenarios (also accepts random:SEED):")
     for name in sorted(SCENARIOS):
@@ -296,6 +301,54 @@ def _print_fault_scenarios() -> None:
             f"  {name:>23}: {len(scenario.events)} events, "
             f"corruption {scenario.fault_start:.0f}-{scenario.heal_time:.0f}s"
         )
+    print("Exhaustion presets (receiver memory budget, flow control on):")
+    for name in sorted(EXHAUSTION_SCENARIOS):
+        scenario = EXHAUSTION_SCENARIOS[name]()
+        print(
+            f"  {name:>23}: {scenario.recv_budget_bytes // 1024} KiB budget — "
+            f"{scenario.description}"
+        )
+
+
+def _run_exhaustion_preset(args, scenarios, run_exhaustion) -> Optional[int]:
+    scenario = scenarios[args.scenario]()
+    protocols = ("fmtcp", "mptcp") if args.protocol == "both" else (args.protocol,)
+    print(
+        f"Exhaustion scenario {scenario.name}: "
+        f"{scenario.recv_budget_bytes // 1024} KiB receive budget, "
+        f"{scenario.total_bytes} B transfer, {scenario.duration_s:.0f}s run, "
+        f"seed {args.seed}"
+    )
+    for protocol in protocols:
+        report = run_exhaustion(
+            protocol,
+            scenario,
+            seed=args.seed,
+            flight_dump_dir=args.flight_dir,
+        )
+        status = "OK" if report.ok else "VIOLATIONS"
+        if report.completion_time_s is not None:
+            outcome = f"completed at {report.completion_time_s:.1f}s"
+        elif report.watchdog_failed:
+            outcome = (
+                f"clean failure at escalation {report.watchdog_escalation} "
+                f"({report.delivered_bytes}/{report.expected_bytes} B)"
+            )
+        else:
+            outcome = f"incomplete ({report.delivered_bytes}/{report.expected_bytes} B)"
+        print(
+            f"  {protocol:>6}: {status} — {outcome}, peak occupancy "
+            f"{report.peak_occupancy}/{report.budget_units} units, "
+            f"{report.flow.get('flow_pauses', 0)} pauses, "
+            f"{report.flow.get('window_probes', 0)} window probes"
+        )
+        for violation in report.violations:
+            print(f"          ! {violation}")
+        if report.flight_dump_path is not None:
+            print(f"          flight recorder dump: {report.flight_dump_path}")
+        if report.watchdog_dump_path is not None:
+            print(f"          watchdog post-mortem: {report.watchdog_dump_path}")
+    return None
 
 
 def cmd_faults(args: argparse.Namespace) -> Optional[int]:
@@ -311,6 +364,10 @@ def cmd_faults(args: argparse.Namespace) -> Optional[int]:
     if args.scenario == "list":
         _print_fault_scenarios()
         return None
+    from repro.faults import EXHAUSTION_SCENARIOS, run_exhaustion
+
+    if args.scenario in EXHAUSTION_SCENARIOS:
+        return _run_exhaustion_preset(args, EXHAUSTION_SCENARIOS, run_exhaustion)
     try:
         scenario = resolve_scenario(args.scenario)
     except ValueError as error:

@@ -109,6 +109,26 @@ class FmtcpConfig:
     # disables detection (pre-failover behaviour).
     failover_rto_threshold: Optional[int] = 3
 
+    # End-to-end flow control (repro.robustness extension, off by
+    # default): the receiver advertises a block-granular window on every
+    # ACK and the sender may only *open* blocks below the licensed limit,
+    # so receiver occupancy (active decoders + decoded-waiting + app
+    # backlog) never exceeds recv_window_blocks.
+    flow_control: bool = False
+    recv_window_blocks: int = 32
+    # Application drain model: None = the app consumes instantly (the
+    # pre-flow-control behaviour); a rate in bytes/s models a slow
+    # reader; 0.0 models an app that stopped reading entirely.
+    recv_drain_rate_bps: Optional[float] = None
+    # Backpressure hysteresis (fractions of recv_window_blocks): pause
+    # opening new blocks when the receiver-held backlog crosses high,
+    # resume once it falls back to low.
+    flow_high_watermark: float = 0.75
+    flow_low_watermark: float = 0.5
+    # Zero-window probing: initial interval and exponential-backoff cap.
+    zero_window_probe_s: float = 0.5
+    zero_window_probe_max_s: float = 4.0
+
     def __post_init__(self) -> None:
         if self.symbols_per_block < 1:
             raise ValueError("symbols_per_block must be >= 1")
@@ -130,6 +150,20 @@ class FmtcpConfig:
             raise ValueError("systematic mode applies to the RLC code only")
         if self.failover_rto_threshold is not None and self.failover_rto_threshold < 1:
             raise ValueError("failover_rto_threshold must be >= 1 or None")
+        if self.recv_window_blocks < 1:
+            raise ValueError("recv_window_blocks must be >= 1")
+        if self.recv_drain_rate_bps is not None and self.recv_drain_rate_bps < 0:
+            raise ValueError("recv_drain_rate_bps must be >= 0 or None")
+        if not 0.0 < self.flow_low_watermark <= self.flow_high_watermark <= 1.0:
+            raise ValueError(
+                "flow watermarks must satisfy 0 < low <= high <= 1"
+            )
+        if self.zero_window_probe_s <= 0:
+            raise ValueError("zero_window_probe_s must be positive")
+        if self.zero_window_probe_max_s < self.zero_window_probe_s:
+            raise ValueError(
+                "zero_window_probe_max_s must be >= zero_window_probe_s"
+            )
         if self.symbol_wire_size > self.mss:
             raise ValueError(
                 f"one symbol ({self.symbol_wire_size}B on the wire) must fit "

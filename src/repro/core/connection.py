@@ -168,6 +168,8 @@ class FmtcpConnection:
         self.sender.pump_all()
 
     def close(self) -> None:
+        self.sender.close()
+        self.receiver.close()
         for subflow in self.subflows:
             subflow.close()
         for sink in self._sinks:
@@ -196,6 +198,43 @@ class FmtcpConnection:
             ),
             "blocks_quarantined": self.receiver.blocks_quarantined,
             "symbols_evicted": self.receiver.symbols_evicted,
+        }
+
+    def memory_stats(self) -> dict:
+        """Live buffer occupancy per category (units: blocks/packets).
+
+        Computed on demand from existing structures — no hot-path
+        accounting. ``recv_occupancy`` is the protocol-agnostic key the
+        exhaustion harness budgets against; its peak is tracked in
+        ``recv_peak_occupancy`` so a between-samples spike cannot hide.
+        """
+        receiver = self.receiver
+        stats = {
+            "recv_occupancy": receiver.buffered_blocks,
+            "recv_peak_occupancy": receiver.peak_buffered_blocks,
+            "recv_active_blocks": receiver.active_blocks,
+            "recv_waiting_blocks": receiver.waiting_blocks,
+            "recv_app_queue_blocks": receiver.app_queue_blocks,
+            "send_pending_blocks": len(self.block_manager.pending_blocks),
+            "send_in_flight_packets": sum(sf.in_flight for sf in self.subflows),
+        }
+        return stats
+
+    def flow_stats(self) -> dict:
+        """Flow-control counters (zeros when the knob is off)."""
+        gate = self.sender.flow_gate
+        window = self.receiver.window
+        return {
+            "enabled": gate is not None,
+            "flow_pauses": gate.pauses if gate is not None else 0,
+            "flow_limit": gate.limit if gate is not None else None,
+            "flow_paused": gate.paused if gate is not None else False,
+            "window_probes": self.sender.window_probes,
+            "zero_window_advertises": (
+                window.zero_window_advertises if window is not None else 0
+            ),
+            "window_discards": self.receiver.symbols_window_discarded,
+            "drained_units": self.receiver.drained_blocks,
         }
 
     def redundancy_ratio(self) -> float:

@@ -123,9 +123,18 @@ class FmtcpFeedback:
       times the receiver evicted that block's poisoned basis). Empty on a
       clean connection; lets the sender reset its monotone-max k̄ view
       when the receiver threw symbols away.
+    * ``advertised_window`` — block-granular receive window (flow-control
+      extension); ``None`` when flow control is disabled, so the wire
+      format (and its integrity digest) is unchanged by default.
     """
 
-    __slots__ = ("k_bar", "decoded_in_order", "decoded_out_of_order", "quarantine")
+    __slots__ = (
+        "k_bar",
+        "decoded_in_order",
+        "decoded_out_of_order",
+        "quarantine",
+        "advertised_window",
+    )
 
     def __init__(
         self,
@@ -133,19 +142,24 @@ class FmtcpFeedback:
         decoded_in_order: int,
         decoded_out_of_order: Tuple[int, ...] = (),
         quarantine: Optional[Dict[int, int]] = None,
+        advertised_window: Optional[int] = None,
     ):
         self.k_bar = k_bar
         self.decoded_in_order = decoded_in_order
         self.decoded_out_of_order = decoded_out_of_order
         self.quarantine = quarantine if quarantine is not None else {}
+        self.advertised_window = advertised_window
 
     def integrity_digest(self) -> bytes:
         k_bar = ",".join(f"{b}={v}" for b, v in sorted(self.k_bar.items()))
         quarantine = ",".join(f"{b}={e}" for b, e in sorted(self.quarantine.items()))
-        return (
+        digest = (
             f"ffb:{self.decoded_in_order}:{sorted(self.decoded_out_of_order)}"
-            f":{k_bar}:{quarantine}".encode()
+            f":{k_bar}:{quarantine}"
         )
+        if self.advertised_window is not None:
+            digest += f":aw{self.advertised_window}"
+        return digest.encode()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -11,13 +11,15 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
 
 from repro.core.config import FmtcpConfig
 from repro.core.packets import FmtcpFeedback, FmtcpSegmentPayload
 from repro.fountain.codec import BlockDecoder
 from repro.fountain.lt import LtDecoder
 from repro.fountain.rank_model import RankEvolutionModel
+from repro.robustness.flowcontrol import ReceiveWindow
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceBus
 
@@ -118,6 +120,22 @@ class FmtcpReceiver:
         self.blocks_quarantined = 0
         self.symbols_evicted = 0
 
+        # End-to-end flow control (off unless config.flow_control): the
+        # window licenses block ids; the app-drain queue models a reader
+        # slower than the network (None drain rate = instant, as before).
+        self.window: Optional[ReceiveWindow] = (
+            ReceiveWindow(config.recv_window_blocks) if config.flow_control else None
+        )
+        self._drain_rate: Optional[float] = (
+            config.recv_drain_rate_bps if config.flow_control else None
+        )
+        # (block_id, block_bytes, data) decoded in order, awaiting the app.
+        self._app_queue: Deque[Tuple[int, int, Optional[bytes]]] = deque()
+        self._drain_event = None
+        self.drained_blocks = 0
+        self.symbols_window_discarded = 0
+        self.peak_buffered_blocks = 0
+
     # ------------------------------------------------------------------
     # Data path.
     # ------------------------------------------------------------------
@@ -133,6 +151,23 @@ class FmtcpReceiver:
             return
         active = self._active.get(group.block_id)
         if active is None:
+            if self.window is not None and not self.window.admits(group.block_id):
+                # An unlicensed block id (an honest sender only reaches
+                # here with a zero-window probe): the symbols are
+                # discarded, but the packet is still ACKed upstream, so
+                # the probe elicits a fresh window advertisement.
+                self.symbols_window_discarded += group.count
+                if self.trace is not None and self.trace.has_subscribers(
+                    "recv.window_discard"
+                ):
+                    self.trace.emit(
+                        self.sim.now,
+                        "recv.window_discard",
+                        block_id=group.block_id,
+                        symbols=group.count,
+                        limit=self.window.limit,
+                    )
+                return
             active = _ActiveBlock(
                 decoder=self._make_decoder(group),
                 block_bytes=group.block_bytes,
@@ -140,6 +175,8 @@ class FmtcpReceiver:
                 block_crc=group.block_crc,
             )
             self._active[group.block_id] = active
+            if self.buffered_blocks > self.peak_buffered_blocks:
+                self.peak_buffered_blocks = self.buffered_blocks
         decoder = active.decoder
         if group.symbols is not None:
             for symbol in group.symbols:
@@ -242,19 +279,53 @@ class FmtcpReceiver:
     def _deliver_in_order(self) -> None:
         while self._deliver_next in self._decoded_waiting:
             block_bytes, data = self._decoded_waiting.pop(self._deliver_next)
-            self.delivered_bytes += block_bytes
-            if self.sink is not None:
-                self.sink(self._deliver_next, data)
-            if self.trace is not None and self.trace.has_subscribers("conn.delivered"):
-                self.trace.emit(
-                    self.sim.now,
-                    "conn.delivered",
-                    bytes=block_bytes,
-                    block_id=self._deliver_next,
-                )
+            if self._drain_rate is not None:
+                # A modelled application reads at a finite rate: the
+                # block stays in the app queue (still occupying the
+                # receive window) until the drain timer consumes it.
+                self._app_queue.append((self._deliver_next, block_bytes, data))
+            else:
+                self._deliver_to_app(self._deliver_next, block_bytes, data)
             self._deliver_next += 1
         if self._decode_frontier < self._deliver_next:
             self._decode_frontier = self._deliver_next
+        if self._drain_rate is not None:
+            self._schedule_drain()
+
+    def _deliver_to_app(
+        self, block_id: int, block_bytes: int, data: Optional[bytes]
+    ) -> None:
+        """Hand one in-order block to the application (= drain it)."""
+        self.delivered_bytes += block_bytes
+        self.drained_blocks += 1
+        if self.window is not None:
+            self.window.on_drained(1)
+        if self.sink is not None:
+            self.sink(block_id, data)
+        if self.trace is not None and self.trace.has_subscribers("conn.delivered"):
+            self.trace.emit(
+                self.sim.now,
+                "conn.delivered",
+                bytes=block_bytes,
+                block_id=block_id,
+            )
+
+    def _schedule_drain(self) -> None:
+        """Arm the app-drain timer for the queue head (rate 0 = never)."""
+        if self._drain_event is not None or not self._app_queue or not self._drain_rate:
+            return
+        __, block_bytes, __ = self._app_queue[0]
+        self._drain_event = self.sim.schedule(
+            block_bytes / self._drain_rate, self._drain_tick
+        )
+
+    def _drain_tick(self) -> None:
+        self._drain_event = None
+        if not self._app_queue:
+            return
+        block_id, block_bytes, data = self._app_queue.popleft()
+        self._deliver_to_app(block_id, block_bytes, data)
+        self._schedule_drain()
 
     def _is_decoded(self, block_id: int) -> bool:
         return block_id < self._deliver_next or block_id in self._decoded_waiting
@@ -272,6 +343,11 @@ class FmtcpReceiver:
             for block_id in self._decoded_waiting
             if block_id >= self._decode_frontier
         )
+        advertised_window = None
+        if self.window is not None:
+            advertised_window = self.window.advertise(
+                self._decode_frontier, self.buffered_blocks
+            )
         return FmtcpFeedback(
             k_bar=k_bar,
             decoded_in_order=self._decode_frontier,
@@ -280,6 +356,7 @@ class FmtcpReceiver:
             # the set of still-undecoded blocks with evicted bases (empty
             # on a clean connection — zero feedback overhead).
             quarantine=dict(self._quarantine_epochs),
+            advertised_window=advertised_window,
         )
 
     # ------------------------------------------------------------------
@@ -314,12 +391,31 @@ class FmtcpReceiver:
 
     @property
     def buffered_blocks(self) -> int:
-        """Blocks currently occupying the receive buffer."""
-        return len(self._active) + len(self._decoded_waiting)
+        """Blocks currently occupying the receive buffer (all stages:
+        active decoders, decoded-out-of-order, and the app-drain queue)."""
+        return len(self._active) + len(self._decoded_waiting) + len(self._app_queue)
+
+    @property
+    def active_blocks(self) -> int:
+        return len(self._active)
+
+    @property
+    def waiting_blocks(self) -> int:
+        return len(self._decoded_waiting)
+
+    @property
+    def app_queue_blocks(self) -> int:
+        return len(self._app_queue)
 
     @property
     def delivered_blocks(self) -> int:
         return self._deliver_next
+
+    def close(self) -> None:
+        """Cancel the app-drain timer (event-queue drain invariant)."""
+        if self._drain_event is not None:
+            self._drain_event.cancel()
+            self._drain_event = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -25,6 +25,7 @@ from repro.core.blocks import BlockManager
 from repro.core.config import FmtcpConfig
 from repro.core.estimators import PathEstimate
 from repro.core.packets import FmtcpFeedback, FmtcpSegmentPayload, SymbolGroup
+from repro.robustness.flowcontrol import WindowGate, ZeroWindowProber
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceBus
 from repro.tcp.subflow import Subflow, SubflowOwner, SubflowPacketInfo
@@ -61,6 +62,25 @@ class FmtcpSender(SubflowOwner):
         # configured allocator. Probe and stop-and-wait paths are not
         # delegated — they bypass the allocator today and keep doing so.
         self.decision_hook: Optional[DecisionHook] = None
+        # End-to-end flow control (off unless config.flow_control): the
+        # gate licenses which block ids may be *opened*; the prober keeps
+        # a closed window from deadlocking the transfer.
+        self.flow_gate: Optional[WindowGate] = None
+        self._zw_prober: Optional[ZeroWindowProber] = None
+        if config.flow_control:
+            self.flow_gate = WindowGate(
+                config.recv_window_blocks,
+                high_watermark=config.flow_high_watermark,
+                low_watermark=config.flow_low_watermark,
+            )
+            self._zw_prober = ZeroWindowProber(
+                sim,
+                self._zero_window_probe,
+                initial_s=config.zero_window_probe_s,
+                max_s=config.zero_window_probe_max_s,
+            )
+        self._window_probe_due = False
+        self.window_probes = 0
         # Statistics.
         self.packets_built = 0
         self.symbols_sent = 0
@@ -143,11 +163,60 @@ class FmtcpSender(SubflowOwner):
             > self.config.probe_chain_threshold
         )
 
+    def _flow_admissible(self, pending) -> list:
+        """Blocks the flow-control gate licenses for this opportunity.
+
+        Already-opened blocks keep receiving symbols below the hard limit
+        even while paused — they occupy receiver state, and completing
+        them is what frees it. Unopened blocks additionally respect the
+        watermark pause: backpressure stops *new* state being created.
+        """
+        gate = self.flow_gate
+        return [
+            block
+            for block in pending
+            if (
+                block.block_id < gate.limit
+                if block.symbols_generated > 0
+                else gate.admits(block.block_id)
+            )
+        ]
+
+    def _flow_blocked(self) -> bool:
+        """True when data is pending but the gate licenses none of it."""
+        if self.flow_gate is None:
+            return False
+        pending = self.blocks.pending_blocks
+        return bool(pending) and not self._flow_admissible(pending)
+
+    def _zero_window_probe(self) -> bool:
+        """Prober callback: one symbol to elicit a fresh window ACK."""
+        if not self._flow_blocked():
+            return False
+        self._window_probe_due = True
+        self.pump_all()
+        self._window_probe_due = False
+        return self._flow_blocked()
+
     def next_payload(self, subflow: Subflow) -> Optional[Tuple[Any, int]]:
         self.blocks.replenish()
         pending = self.blocks.pending_blocks
         if not pending:
             return None
+        if self._window_probe_due:
+            # Zero-window probe: one symbol of the oldest pending block.
+            # If the receiver's window is truly closed the symbol may be
+            # discarded, but the packet is ACKed either way — and that
+            # ACK carries the fresh advertisement that reopens the gate.
+            self._window_probe_due = False
+            self.window_probes += 1
+            self.probes_sent += 1
+            probe = AllocationResult(vector=[(pending[0].block_id, 1)])
+            return self._build_packet(subflow, probe)
+        if self.flow_gate is not None:
+            pending = self._flow_admissible(pending)
+            if not pending:
+                return None
         if subflow.potentially_failed:
             # Dead-path probe: one greedily-filled packet of the *last*
             # pending block per backed-off RTO (the subflow's pump gating
@@ -295,6 +364,10 @@ class FmtcpSender(SubflowOwner):
     # SubflowOwner: receiver feedback (k̄ reports + decode confirmations).
     # ------------------------------------------------------------------
     def on_ack_feedback(self, subflow: Subflow, feedback: FmtcpFeedback) -> None:
+        if self.flow_gate is not None and feedback.advertised_window is not None:
+            self.flow_gate.advertise(
+                feedback.decoded_in_order, feedback.advertised_window
+            )
         quarantine = feedback.quarantine
         for block_id, k_bar in feedback.k_bar.items():
             self.blocks.update_k_bar(block_id, k_bar, quarantine.get(block_id, 0))
@@ -319,6 +392,13 @@ class FmtcpSender(SubflowOwner):
                 for block_id in self._decoded_out_of_order_seen
                 if block_id >= self._decoded_frontier_seen
             }
+        if self._zw_prober is not None:
+            # Arm (or reset) probing from feedback state: while blocked,
+            # probes are the only traffic that can reopen the window.
+            if self._flow_blocked():
+                self._zw_prober.arm()
+            else:
+                self._zw_prober.disarm()
         self.pump_all()
 
     def _observe_prediction_misses(self) -> None:
@@ -364,6 +444,11 @@ class FmtcpSender(SubflowOwner):
     def pump_all(self) -> None:
         for subflow in self.subflows:
             subflow.pump()
+
+    def close(self) -> None:
+        """Stop the zero-window prober (event-queue drain invariant)."""
+        if self._zw_prober is not None:
+            self._zw_prober.disarm()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -33,6 +33,13 @@ from repro.faults.corruption import (
     measure_corruption_goodput,
     run_corruption,
 )
+from repro.robustness.exhaustion import (
+    EXHAUSTION_SCENARIOS,
+    ExhaustionReport,
+    ExhaustionScenario,
+    measure_bufferblock,
+    run_exhaustion,
+)
 from repro.faults.scenario import (
     CHURN_KINDS,
     CORRUPTION_KINDS,
@@ -50,6 +57,7 @@ __all__ = [
     "CHURN_KINDS",
     "CORRUPTION_KINDS",
     "CORRUPTION_SCENARIOS",
+    "EXHAUSTION_SCENARIOS",
     "FAULT_KINDS",
     "MOBILITY_SCENARIOS",
     "SCENARIOS",
@@ -57,11 +65,14 @@ __all__ = [
     "ChaosReport",
     "ChurnReport",
     "CorruptionReport",
+    "ExhaustionReport",
+    "ExhaustionScenario",
     "FaultBenchResult",
     "FaultEvent",
     "FaultInjector",
     "FaultScenario",
     "PathChurnController",
+    "measure_bufferblock",
     "measure_churn_response",
     "measure_corruption_goodput",
     "measure_fault_response",
@@ -69,4 +80,5 @@ __all__ = [
     "run_chaos",
     "run_churn",
     "run_corruption",
+    "run_exhaustion",
 ]

@@ -25,6 +25,7 @@ import zlib
 
 from repro.net.integrity import payload_digest
 from repro.net.topology import Path
+from repro.robustness.flowcontrol import ReceiveWindow, WindowGate, ZeroWindowProber
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceBus
 from repro.tcp.congestion import LiaGroup, make_controller
@@ -65,12 +66,41 @@ class MptcpConfig:
     # predates it); the scheduler ablation measures how much of FMTCP's
     # advantage survives this stronger baseline.
     opportunistic_retransmission: bool = False
+    # End-to-end flow control (repro.robustness extension, off by
+    # default): advertise a monotone chunk-granular window reflecting the
+    # *application's* drain progress (not just reorder-buffer slack) and
+    # gate fresh-chunk creation on the licensed limit. With an instantly
+    # draining application the licensed limit equals the local credit
+    # rule above, so behaviour is unchanged until a drain model is set.
+    flow_control: bool = False
+    # Application drain model: None = instant consumption (the
+    # pre-flow-control behaviour); bytes/s models a slow reader; 0.0
+    # models an application that stopped reading entirely.
+    recv_drain_rate_bps: Optional[float] = None
+    # Backpressure hysteresis (fractions of recv_buffer_chunks).
+    flow_high_watermark: float = 0.75
+    flow_low_watermark: float = 0.5
+    # Zero-window probing: initial interval and exponential-backoff cap.
+    zero_window_probe_s: float = 0.5
+    zero_window_probe_max_s: float = 4.0
 
     def __post_init__(self) -> None:
         if self.failover_rto_threshold is not None and self.failover_rto_threshold < 1:
             raise ValueError(
                 f"failover_rto_threshold must be >= 1 or None, "
                 f"got {self.failover_rto_threshold}"
+            )
+        if self.recv_buffer_chunks < 1:
+            raise ValueError("recv_buffer_chunks must be >= 1")
+        if self.recv_drain_rate_bps is not None and self.recv_drain_rate_bps < 0:
+            raise ValueError("recv_drain_rate_bps must be >= 0 or None")
+        if not 0.0 < self.flow_low_watermark <= self.flow_high_watermark <= 1.0:
+            raise ValueError("flow watermarks must satisfy 0 < low <= high <= 1")
+        if self.zero_window_probe_s <= 0:
+            raise ValueError("zero_window_probe_s must be positive")
+        if self.zero_window_probe_max_s < self.zero_window_probe_s:
+            raise ValueError(
+                "zero_window_probe_max_s must be >= zero_window_probe_s"
             )
 
 
@@ -197,10 +227,44 @@ class MptcpConnection(SubflowOwner):
         self._chunk_registry: Dict[int, Tuple[int, Chunk]] = {}
 
         # ---- receiver state ----
-        self._reorder = ReorderBuffer(self.config.recv_buffer_chunks)
+        self._reorder = ReorderBuffer(
+            self.config.recv_buffer_chunks,
+            trace=trace,
+            clock=lambda: self.sim.now,
+        )
         self.delivered_bytes = 0
         self.delivered_chunks = 0
         self.chunks_discarded_checksum = 0
+
+        # ---- end-to-end flow control (off unless config.flow_control) ----
+        flow = self.config.flow_control
+        self.recv_window: Optional[ReceiveWindow] = (
+            ReceiveWindow(self.config.recv_buffer_chunks) if flow else None
+        )
+        self.flow_gate: Optional[WindowGate] = None
+        self._zw_prober: Optional[ZeroWindowProber] = None
+        if flow:
+            self.flow_gate = WindowGate(
+                self.config.recv_buffer_chunks,
+                high_watermark=self.config.flow_high_watermark,
+                low_watermark=self.config.flow_low_watermark,
+            )
+            self._zw_prober = ZeroWindowProber(
+                sim,
+                self._zero_window_probe,
+                initial_s=self.config.zero_window_probe_s,
+                max_s=self.config.zero_window_probe_max_s,
+            )
+        self._drain_rate: Optional[float] = (
+            self.config.recv_drain_rate_bps if flow else None
+        )
+        self._app_queue: Deque[Chunk] = deque()
+        self._drain_event = None
+        self._last_chunk: Optional[Chunk] = None
+        self._window_probe_due = False
+        self.drained_chunks = 0
+        self.chunks_window_discarded = 0
+        self.window_probes = 0
 
     def _attach(self, path: Path, join_delay_s: Optional[float]) -> Subflow:
         """Build one subflow + its receiver sink and register both."""
@@ -255,6 +319,11 @@ class MptcpConnection(SubflowOwner):
             subflow.pump()
 
     def close(self) -> None:
+        if self._zw_prober is not None:
+            self._zw_prober.disarm()
+        if self._drain_event is not None:
+            self._drain_event.cancel()
+            self._drain_event = None
         for subflow in self.subflows:
             subflow.close()
         for sink in self._sinks:
@@ -380,7 +449,22 @@ class MptcpConnection(SubflowOwner):
             self._chunk_registry[chunk.dsn] = (subflow.subflow_id, chunk)
             return chunk, chunk.size
 
+        if self._window_probe_due:
+            # Zero-window probe: a *duplicate* chunk the receiver absorbs
+            # (and ACKs) even with a closed window; the ACK's feedback
+            # carries the fresh advertisement that reopens the gate.
+            self._window_probe_due = False
+            probe = self._probe_chunk()
+            if probe is not None:
+                self.window_probes += 1
+                self.chunks_probe_duplicates += 1
+                return probe, probe.size
+
         credit = self.config.recv_buffer_chunks - (self._next_dsn - self._data_acked)
+        if self.flow_gate is not None:
+            # The licensed limit generalises the local credit rule above
+            # to application-drain awareness; take the stricter of the two.
+            credit = min(credit, self.flow_gate.credit(self._next_dsn))
         if credit <= 0:
             if self.config.opportunistic_retransmission:
                 reinjection = self._opportunistic_retransmit(subflow)
@@ -412,6 +496,7 @@ class MptcpConnection(SubflowOwner):
             payload_bytes = None
         chunk = Chunk(self._next_dsn, size, payload_bytes, self.sim.now)
         self._chunk_registry[chunk.dsn] = (subflow.subflow_id, chunk)
+        self._last_chunk = chunk
         self._next_dsn += 1
         self._chunk_sizes[chunk.dsn] = size
         block_id = self._block_of_offset(self._pulled_stream_bytes)
@@ -435,6 +520,17 @@ class MptcpConnection(SubflowOwner):
         self._retx_queues[subflow.subflow_id].append(chunk)
 
     def on_ack_feedback(self, subflow: Subflow, feedback: MptcpFeedback) -> None:
+        if self.flow_gate is not None:
+            # Fold the advertisement in even on duplicate data ACKs —
+            # zero-window probe responses are exactly that.
+            was_blocked = self._flow_blocked()
+            self.flow_gate.advertise(feedback.data_ack, feedback.advertised_window)
+            if self._flow_blocked():
+                self._zw_prober.arm()
+            else:
+                self._zw_prober.disarm()
+                if was_blocked:
+                    self.pump()
         if feedback.data_ack <= self._data_acked:
             return
         for dsn in range(self._data_acked, feedback.data_ack):
@@ -550,24 +646,105 @@ class MptcpConnection(SubflowOwner):
                     dsn=chunk.dsn,
                 )
             return False
-        for __, delivered in self._reorder.insert(chunk.dsn, chunk):
-            self.delivered_bytes += delivered.size
-            self.delivered_chunks += 1
-            if self.sink is not None:
-                self.sink(delivered)
-            if self.trace is not None and self.trace.has_subscribers("conn.delivered"):
+        if (
+            self.recv_window is not None
+            and chunk.dsn >= self._reorder.next_expected
+            and not self.recv_window.admits(chunk.dsn)
+        ):
+            # An unlicensed fresh chunk (an honest sender never produces
+            # one; duplicates used as probes fall below next_expected and
+            # are absorbed above this check). Withholding the ACK makes
+            # the sender retransmit once the window reopens.
+            self.chunks_window_discarded += 1
+            if self.trace is not None and self.trace.has_subscribers(
+                "recv.window_discard"
+            ):
                 self.trace.emit(
                     self.sim.now,
-                    "conn.delivered",
-                    bytes=delivered.size,
-                    dsn=delivered.dsn,
+                    "recv.window_discard",
+                    dsn=chunk.dsn,
+                    limit=self.recv_window.limit,
                 )
+            return False
+        for __, delivered in self._reorder.insert(chunk.dsn, chunk):
+            if self._drain_rate is not None:
+                # A modelled application reads at a finite rate: the
+                # chunk keeps occupying the receive window until the
+                # drain timer consumes it.
+                self._app_queue.append(delivered)
+            else:
+                self._deliver_chunk(delivered)
+        if self._drain_rate is not None:
+            self._schedule_drain()
+
+    def _deliver_chunk(self, delivered: Chunk) -> None:
+        """Hand one in-order chunk to the application (= drain it)."""
+        self.delivered_bytes += delivered.size
+        self.delivered_chunks += 1
+        self.drained_chunks += 1
+        if self.recv_window is not None:
+            self.recv_window.on_drained(1)
+        if self.sink is not None:
+            self.sink(delivered)
+        if self.trace is not None and self.trace.has_subscribers("conn.delivered"):
+            self.trace.emit(
+                self.sim.now,
+                "conn.delivered",
+                bytes=delivered.size,
+                dsn=delivered.dsn,
+            )
+
+    def _schedule_drain(self) -> None:
+        """Arm the app-drain timer for the queue head (rate 0 = never)."""
+        if self._drain_event is not None or not self._app_queue or not self._drain_rate:
+            return
+        self._drain_event = self.sim.schedule(
+            self._app_queue[0].size / self._drain_rate, self._drain_tick
+        )
+
+    def _drain_tick(self) -> None:
+        self._drain_event = None
+        if not self._app_queue:
+            return
+        self._deliver_chunk(self._app_queue.popleft())
+        self._schedule_drain()
 
     def _receiver_feedback(self, subflow_id: int, segment) -> MptcpFeedback:
+        if self.recv_window is not None:
+            occupancy = self._reorder.occupancy + len(self._app_queue)
+            return MptcpFeedback(
+                data_ack=self._reorder.next_expected,
+                advertised_window=self.recv_window.advertise(
+                    self._reorder.next_expected, occupancy
+                ),
+            )
         return MptcpFeedback(
             data_ack=self._reorder.next_expected,
             advertised_window=self._reorder.advertised_window,
         )
+
+    # ------------------------------------------------------------------
+    # Zero-window probing (flow-control extension).
+    # ------------------------------------------------------------------
+    def _flow_blocked(self) -> bool:
+        """True when the licensed window admits no fresh chunk."""
+        return self.flow_gate is not None and self.flow_gate.blocked(self._next_dsn)
+
+    def _probe_chunk(self) -> Optional[Chunk]:
+        """A duplicate chunk the receiver will absorb and ACK regardless."""
+        entry = self._chunk_registry.get(self._data_acked)
+        if entry is not None:
+            return entry[1]
+        return self._last_chunk
+
+    def _zero_window_probe(self) -> bool:
+        """Prober callback: one duplicate to elicit a fresh window ACK."""
+        if not self._flow_blocked():
+            return False
+        self._window_probe_due = True
+        self.pump()
+        self._window_probe_due = False
+        return self._flow_blocked()
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -575,6 +752,47 @@ class MptcpConnection(SubflowOwner):
     @property
     def data_acked(self) -> int:
         return self._data_acked
+
+    def memory_stats(self) -> Dict[str, int]:
+        """Live buffer occupancy per category (units: chunks/packets).
+
+        Computed on demand from existing structures — no hot-path
+        accounting. ``recv_occupancy`` is the protocol-agnostic key the
+        exhaustion harness budgets against; ``recv_peak_occupancy``
+        tracks its high-water mark so spikes between samples cannot hide.
+        """
+        occupancy = self._reorder.occupancy + len(self._app_queue)
+        if self.recv_window is not None:
+            self.recv_window.observe_occupancy(occupancy)
+            peak = self.recv_window.peak_occupancy
+        else:
+            peak = self._reorder.high_watermark
+        return {
+            "recv_occupancy": occupancy,
+            "recv_peak_occupancy": peak,
+            "recv_reorder_chunks": self._reorder.occupancy,
+            "recv_app_queue_chunks": len(self._app_queue),
+            "send_retx_queued": sum(len(q) for q in self._retx_queues.values()),
+            "send_in_flight_packets": sum(sf.in_flight for sf in self.subflows),
+            "send_registry_chunks": len(self._chunk_registry),
+        }
+
+    def flow_stats(self) -> Dict[str, object]:
+        """Flow-control counters (zeros when the knob is off)."""
+        gate = self.flow_gate
+        window = self.recv_window
+        return {
+            "enabled": gate is not None,
+            "flow_pauses": gate.pauses if gate is not None else 0,
+            "flow_limit": gate.limit if gate is not None else None,
+            "flow_paused": gate.paused if gate is not None else False,
+            "window_probes": self.window_probes,
+            "zero_window_advertises": (
+                window.zero_window_advertises if window is not None else 0
+            ),
+            "window_discards": self.chunks_window_discarded,
+            "drained_units": self.drained_chunks,
+        }
 
     @property
     def reorder_buffer(self) -> ReorderBuffer:

@@ -9,7 +9,27 @@ blocking" of Iyengar et al. that the paper's Section II discusses.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class BufferOverflowError(OverflowError):
+    """A reorder-buffer insert that flow control should have prevented.
+
+    Carries the state a post-mortem needs: the offending sequence
+    number, the in-order frontier, and how full the buffer was. Subclass
+    of :class:`OverflowError` so pre-existing handlers keep working.
+    """
+
+    def __init__(self, seq: int, next_expected: int, occupancy: int, capacity: int):
+        self.seq = seq
+        self.next_expected = next_expected
+        self.occupancy = occupancy
+        self.capacity = capacity
+        super().__init__(
+            f"reorder buffer overflow at seq {seq}: {occupancy}/{capacity} "
+            f"out-of-order chunks buffered, next expected {next_expected} — "
+            f"flow control must prevent this"
+        )
 
 
 class ReorderBuffer:
@@ -19,13 +39,22 @@ class ReorderBuffer:
     rest of the substrate). The sender's flow control must guarantee
     occupancy never exceeds ``capacity``; :meth:`insert` enforces that
     invariant with an exception rather than a silent drop, because
-    acknowledged TCP data can never legally vanish.
+    acknowledged TCP data can never legally vanish. With a ``trace`` bus
+    attached, a ``recv.overflow`` record is emitted before raising so the
+    flight recorder captures the terminal state.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(
+        self,
+        capacity: int,
+        trace: Optional[Any] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.trace = trace
+        self.clock = clock
         self._buffered: Dict[int, Any] = {}
         self.next_expected = 0
         self.duplicates = 0
@@ -58,10 +87,22 @@ class ReorderBuffer:
                 self.next_expected += 1
             return delivered
         if len(self._buffered) >= self.capacity:
-            raise OverflowError(
-                f"reorder buffer overflow at seq {seq}: flow control must "
-                f"prevent more than {self.capacity} out-of-order chunks"
+            error = BufferOverflowError(
+                seq=seq,
+                next_expected=self.next_expected,
+                occupancy=len(self._buffered),
+                capacity=self.capacity,
             )
+            if self.trace is not None and self.trace.has_subscribers("recv.overflow"):
+                self.trace.emit(
+                    self.clock() if self.clock is not None else 0.0,
+                    "recv.overflow",
+                    seq=seq,
+                    next_expected=self.next_expected,
+                    occupancy=len(self._buffered),
+                    capacity=self.capacity,
+                )
+            raise error
         self._buffered[seq] = chunk
         if len(self._buffered) > self.high_watermark:
             self.high_watermark = len(self._buffered)

@@ -1,0 +1,475 @@
+"""Resource-exhaustion soak harness: bounded-memory operation under
+hostile receivers.
+
+The chaos harness (:mod:`repro.faults.chaos`) attacks the *network*;
+this one attacks the *endpoint*: a tiny receive buffer, an application
+that stops reading, a path mix engineered for receive-buffer blocking.
+Each :class:`ExhaustionScenario` fixes a receiver memory budget (bytes,
+converted to blocks or chunks per protocol) and an application drain
+model, then :func:`run_exhaustion` drives one finite transfer with flow
+control on, a :class:`~repro.robustness.budget.MemoryBudget` accountant
+riding the run and a :class:`~repro.robustness.watchdog.Watchdog`
+guaranteeing a stalled run degrades and fails cleanly instead of
+hanging. Invariants checked afterwards:
+
+1. **bounded memory** — peak receiver occupancy never exceeds the
+   budgeted unit count (the flow-control licence actually held);
+2. **exactly-once, in-order delivery** — same as the chaos harness;
+3. **no deadlock** — the transfer either completes or the watchdog
+   declares a clean failure *with a structured diagnosis*; hanging
+   forever in between is a violation;
+4. **completion where promised** — scenarios marked ``expect_complete``
+   must finish despite the tiny budget (and unrecoverable ones must
+   *not* quietly succeed, which would mean the scenario tests nothing);
+5. **no wedged timers / event-queue drain** — as in the chaos harness.
+
+:func:`measure_bufferblock` is the open-ended companion used by
+``benchmarks/bench_bufferblock.py``: goodput as a function of the
+receive-buffer budget on an RTT-mismatched path pair, the paper's
+receive-buffer-blocking story in one sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.config import FmtcpConfig
+from repro.core.connection import FmtcpConnection
+from repro.mptcp.connection import MptcpConfig, MptcpConnection
+from repro.net.topology import PathConfig, build_two_path_network
+from repro.robustness.budget import MemoryBudget
+from repro.robustness.watchdog import Watchdog, WatchdogConfig
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceBus
+from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.profiler import SimProfiler
+from repro.telemetry.samplers import attach_samplers
+from repro.workloads.sources import BulkSource
+
+PROTOCOLS = ("fmtcp", "mptcp")
+
+
+@dataclass(frozen=True)
+class ExhaustionScenario:
+    """One resource-exhaustion preset: a memory budget plus a drain model.
+
+    ``recv_budget_bytes`` is the receiver's whole memory allowance; the
+    per-protocol configs convert it to units (8 KiB blocks for FMTCP,
+    MSS chunks for MPTCP) so both stacks face the *same* byte budget
+    rather than the same unit count. ``drain_rate_bps`` follows the
+    config convention: ``None`` = instant application, ``0.0`` = an
+    application that stopped reading.
+    """
+
+    name: str
+    description: str
+    recv_budget_bytes: int
+    drain_rate_bps: Optional[float]
+    # One dict of PathConfig kwargs per path.
+    path_params: Tuple[Dict[str, float], ...]
+    total_bytes: int
+    duration_s: float
+    expect_complete: bool = True
+
+    def budget_units(self, protocol: str) -> int:
+        """The byte budget expressed in the protocol's receive units."""
+        if protocol == "fmtcp":
+            return max(2, self.recv_budget_bytes // FmtcpConfig().block_bytes)
+        if protocol == "mptcp":
+            return max(2, self.recv_budget_bytes // MptcpConfig().mss)
+        raise ValueError(f"unknown protocol {protocol!r}")
+
+    def fmtcp_config(self) -> FmtcpConfig:
+        return FmtcpConfig(
+            flow_control=True,
+            recv_window_blocks=self.budget_units("fmtcp"),
+            recv_drain_rate_bps=self.drain_rate_bps,
+        )
+
+    def mptcp_config(self) -> MptcpConfig:
+        return MptcpConfig(
+            flow_control=True,
+            recv_buffer_chunks=self.budget_units("mptcp"),
+            recv_drain_rate_bps=self.drain_rate_bps,
+        )
+
+    def config_for(self, protocol: str):
+        if protocol == "fmtcp":
+            return self.fmtcp_config()
+        if protocol == "mptcp":
+            return self.mptcp_config()
+        raise ValueError(f"unknown protocol {protocol!r}")
+
+
+def tiny_receive_buffer() -> ExhaustionScenario:
+    """A 32 KiB receiver: four FMTCP blocks of head-room, lossy paths."""
+    return ExhaustionScenario(
+        name="tiny_receive_buffer",
+        description="32 KiB receive budget, 1% loss on both paths",
+        recv_budget_bytes=32_768,
+        drain_rate_bps=None,
+        path_params=(
+            {"bandwidth_bps": 1.5e6, "delay_s": 0.03, "loss_rate": 0.01},
+            {"bandwidth_bps": 1.5e6, "delay_s": 0.03, "loss_rate": 0.01},
+        ),
+        total_bytes=600_000,
+        duration_s=30.0,
+        expect_complete=True,
+    )
+
+
+def slow_drain_receiver() -> ExhaustionScenario:
+    """The application stops reading: unrecoverable, must fail cleanly."""
+    return ExhaustionScenario(
+        name="slow_drain_receiver",
+        description="application stops reading (drain rate 0); clean fail",
+        recv_budget_bytes=98_304,
+        drain_rate_bps=0.0,
+        path_params=(
+            {"bandwidth_bps": 2e6, "delay_s": 0.02, "loss_rate": 0.0},
+            {"bandwidth_bps": 2e6, "delay_s": 0.02, "loss_rate": 0.0},
+        ),
+        total_bytes=800_000,
+        duration_s=25.0,
+        expect_complete=False,
+    )
+
+
+def rtt_mismatch_blocking() -> ExhaustionScenario:
+    """Fast/slow path pair: classic receive-buffer blocking pressure."""
+    return ExhaustionScenario(
+        name="rtt_mismatch_blocking",
+        description="30x RTT mismatch + loss on the slow path, 32 KiB budget",
+        recv_budget_bytes=32_768,
+        drain_rate_bps=None,
+        path_params=(
+            {"bandwidth_bps": 4e6, "delay_s": 0.01, "loss_rate": 0.0},
+            {"bandwidth_bps": 1e6, "delay_s": 0.3, "loss_rate": 0.03},
+        ),
+        total_bytes=800_000,
+        duration_s=30.0,
+        expect_complete=True,
+    )
+
+
+EXHAUSTION_SCENARIOS = {
+    "tiny_receive_buffer": tiny_receive_buffer,
+    "slow_drain_receiver": slow_drain_receiver,
+    "rtt_mismatch_blocking": rtt_mismatch_blocking,
+}
+
+
+@dataclass
+class ExhaustionReport:
+    """Outcome of one :func:`run_exhaustion` run."""
+
+    protocol: str
+    scenario_name: str
+    seed: int
+    duration_s: float
+    expected_bytes: int
+    budget_units: int
+    delivered_bytes: int = 0
+    delivered_units: int = 0
+    completed: bool = False
+    completion_time_s: Optional[float] = None
+    peak_occupancy: int = 0
+    memory_peaks: Dict[str, float] = field(default_factory=dict)
+    flow: Dict[str, Any] = field(default_factory=dict)
+    watchdog_failed: bool = False
+    watchdog_escalation: int = 0
+    diagnosis: Optional[Dict[str, Any]] = None
+    violations: List[str] = field(default_factory=list)
+    flight_dump_path: Optional[str] = None
+    watchdog_dump_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _build_connection(protocol, scenario, sim, paths, source, seed, trace, sink):
+    config = scenario.config_for(protocol)
+    if protocol == "fmtcp":
+        return FmtcpConnection(
+            sim, paths, source, config=config,
+            trace=trace, rng=RngStreams(seed), sink=sink,
+        )
+    return MptcpConnection(
+        sim, paths, source, config=config, trace=trace, sink=sink
+    )
+
+
+def _check_timers(connection, label: str, violations: List[str]) -> None:
+    """Outstanding data without a pending RTO timer = wedged."""
+    for subflow in connection.subflows:
+        if subflow.in_flight > 0 and not subflow.timer_armed:
+            violations.append(
+                f"wedged timer {label}: subflow {subflow.subflow_id} has "
+                f"{subflow.in_flight} packets in flight and no RTO pending"
+            )
+
+
+def run_exhaustion(
+    protocol: str,
+    scenario: ExhaustionScenario,
+    seed: int = 1,
+    flight_dump_dir: Optional[str] = None,
+    flight_capacity: int = 4096,
+    watchdog_config: Optional[WatchdogConfig] = None,
+    telemetry_period_s: float = 0.1,
+) -> ExhaustionReport:
+    """Run one finite transfer against ``scenario`` and check invariants."""
+    trace = TraceBus()
+    configs = [PathConfig(**params) for params in scenario.path_params]
+    network, paths = build_two_path_network(configs, rng=RngStreams(seed), trace=trace)
+    sim = network.sim
+
+    flight: Optional[FlightRecorder] = None
+    profiler: Optional[SimProfiler] = None
+    if flight_dump_dir is not None:
+        flight = FlightRecorder(trace, capacity=flight_capacity)
+        profiler = SimProfiler()
+        sim.set_profiler(profiler)
+
+    delivered_ids: List[int] = []
+    if protocol == "fmtcp":
+        block_bytes = scenario.fmtcp_config().block_bytes
+        expected_units = max(1, scenario.total_bytes // block_bytes)
+        expected_bytes = expected_units * block_bytes
+        sink = lambda block_id, data: delivered_ids.append(block_id)  # noqa: E731
+    elif protocol == "mptcp":
+        mss = scenario.mptcp_config().mss
+        expected_units = scenario.total_bytes // mss + (
+            1 if scenario.total_bytes % mss else 0
+        )
+        expected_bytes = scenario.total_bytes
+        sink = lambda chunk: delivered_ids.append(chunk.dsn)  # noqa: E731
+    else:
+        raise ValueError(f"unknown protocol {protocol!r}")
+
+    source = BulkSource(total_bytes=expected_bytes)
+    connection = _build_connection(
+        protocol, scenario, sim, paths, source, seed, trace, sink
+    )
+    samplers = attach_samplers(
+        sim, connection, trace, period_s=telemetry_period_s
+    )
+    budget = MemoryBudget(
+        limits={"recv_occupancy": scenario.budget_units(protocol)}
+    )
+    watchdog = Watchdog(
+        sim,
+        connection,
+        config=watchdog_config,
+        trace=trace,
+        samplers=samplers,
+        flight=flight,
+        dump_dir=flight_dump_dir,
+        label=f"{protocol}_{scenario.name}_seed{seed}",
+    )
+
+    report = ExhaustionReport(
+        protocol=protocol,
+        scenario_name=scenario.name,
+        seed=seed,
+        duration_s=scenario.duration_s,
+        expected_bytes=expected_bytes,
+        budget_units=scenario.budget_units(protocol),
+    )
+
+    def _watch() -> None:
+        budget.observe(connection.memory_stats())
+        if connection.delivered_bytes >= expected_bytes:
+            if report.completion_time_s is None:
+                report.completion_time_s = sim.now
+            # A finished transfer makes no further progress; that is not
+            # a stall, so the watchdog retires with the transfer.
+            watchdog.stop()
+            return  # done observing; let the queue drain
+        if watchdog.failed:
+            return  # terminal: the diagnosis is already frozen
+        sim.schedule(0.25, _watch)
+
+    sim.schedule(0.25, _watch)
+    watchdog.start()
+    connection.start()
+    sim.run(until=scenario.duration_s)
+
+    budget.observe(connection.memory_stats())
+    report.delivered_bytes = connection.delivered_bytes
+    report.delivered_units = len(delivered_ids)
+    report.completed = report.delivered_bytes >= expected_bytes
+    report.peak_occupancy = int(budget.peak("recv_occupancy"))
+    report.memory_peaks = budget.summary()
+    report.flow = connection.flow_stats()
+    report.watchdog_failed = watchdog.failed
+    report.watchdog_escalation = watchdog.escalation
+    report.diagnosis = watchdog.diagnosis
+    report.watchdog_dump_path = watchdog.dump_path
+
+    # Invariant 1: peak occupancy within the budgeted unit count.
+    report.violations.extend(budget.violations())
+
+    # Invariant 2: exactly-once, in-order delivery.
+    if delivered_ids != list(range(len(delivered_ids))):
+        report.violations.append(
+            f"delivery not exactly-once/in-order: got {len(delivered_ids)} "
+            f"units, first disorder near index "
+            f"{next((i for i, v in enumerate(delivered_ids) if v != i), -1)}"
+        )
+    if report.completed and report.delivered_units != expected_units:
+        report.violations.append(
+            f"unit count mismatch: delivered {report.delivered_units}, "
+            f"expected {expected_units}"
+        )
+
+    # Invariant 3: no deadlock — either done, or failed *with* diagnosis.
+    if not report.completed and not watchdog.failed:
+        report.violations.append(
+            f"deadlock: transfer neither completed nor failed cleanly "
+            f"({report.delivered_bytes}/{expected_bytes} bytes after "
+            f"{scenario.duration_s:.0f}s, watchdog escalation "
+            f"{watchdog.escalation})"
+        )
+    if watchdog.failed and watchdog.diagnosis is None:
+        report.violations.append("watchdog failed without a diagnosis")
+
+    # Invariant 4: completion where the scenario promises it (and a
+    # clean failure where it promises *that* — an "unrecoverable"
+    # scenario that completes is not exercising anything).
+    if scenario.expect_complete and not report.completed:
+        report.violations.append(
+            f"expected completion: {report.delivered_bytes}/{expected_bytes} "
+            f"bytes delivered within the {scenario.recv_budget_bytes}B budget"
+        )
+    if not scenario.expect_complete and report.completed:
+        report.violations.append(
+            "expected a clean failure but the transfer completed "
+            "(scenario no longer exercises exhaustion)"
+        )
+
+    # Invariant 5: timers + event-queue drain.
+    _check_timers(connection, "at end", report.violations)
+    watchdog.stop()
+    for sampler in samplers:
+        sampler.stop()
+    connection.close()
+    sim.drain_cancelled()
+    if report.completed and sim.pending_events != 0:
+        report.violations.append(
+            f"event queue did not drain: {sim.pending_events} live events "
+            "after completion and close"
+        )
+
+    if flight is not None:
+        if report.violations:
+            os.makedirs(flight_dump_dir, exist_ok=True)
+            stem = f"exhaustion_{protocol}_{scenario.name}_seed{seed}"
+            dump_path = os.path.join(flight_dump_dir, stem + ".jsonl")
+            flight.dump(
+                dump_path,
+                meta={
+                    "protocol": protocol,
+                    "scenario": scenario.name,
+                    "seed": seed,
+                    "violations": report.violations,
+                },
+            )
+            report.flight_dump_path = dump_path
+            if profiler is not None:
+                profile_path = os.path.join(flight_dump_dir, stem + ".profile.json")
+                with open(profile_path, "w") as handle:
+                    json.dump(profiler.report(), handle, indent=2)
+        flight.close()
+        sim.set_profiler(None)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Buffer-blocking benchmark backend.
+# ----------------------------------------------------------------------
+
+# The bench topology: equal-bandwidth paths, one with 10x the RTT and
+# more loss. Both paths must carry real traffic (equal bandwidth), so a
+# slow-path loss stalls MPTCP's in-order frontier while the buffered
+# fast-path data pins the tiny window — the "receive buffer blocking"
+# of Iyengar et al. that the paper's Section II argues coding sidesteps.
+BUFFERBLOCK_PATHS: Tuple[Tuple[float, float, float], ...] = (
+    (1.5e6, 0.03, 0.04),
+    (1.5e6, 0.3, 0.08),
+)
+
+
+def _bufferblock_config(protocol: str, budget_bytes: int):
+    """Each stack configured for one shared receive-buffer byte budget.
+
+    MPTCP's unit is fixed (one MSS chunk), so its budget is just a chunk
+    count. FMTCP's block size k̂ is a *design parameter chosen against
+    the buffer* (paper Section III-B), so the bench does what a deployer
+    would: shrink the block so roughly eight fit in the budget, floored
+    at 64 symbols (2 KiB) where the completeness margin starts to
+    dominate, capped at the default 256 (8 KiB).
+    """
+    if protocol == "fmtcp":
+        base = FmtcpConfig()
+        symbols = min(256, max(64, budget_bytes // (8 * base.symbol_size)))
+        block_bytes = symbols * base.symbol_size
+        return FmtcpConfig(
+            flow_control=True,
+            symbols_per_block=symbols,
+            recv_window_blocks=max(2, budget_bytes // block_bytes),
+        )
+    if protocol == "mptcp":
+        return MptcpConfig(
+            flow_control=True,
+            recv_buffer_chunks=max(2, budget_bytes // MptcpConfig().mss),
+        )
+    raise ValueError(f"unknown protocol {protocol!r}")
+
+
+def measure_bufferblock(
+    protocol: str,
+    budget_bytes: int,
+    seed: int = 1,
+    duration_s: float = 40.0,
+) -> Dict[str, Any]:
+    """Open-ended goodput under one receive-buffer byte budget.
+
+    Flow control is on for both stacks; the budget is converted to each
+    protocol's unit granularity by :func:`_bufferblock_config`, so FMTCP
+    and MPTCP face the same byte allowance.
+    """
+    config = _bufferblock_config(protocol, budget_bytes)
+    trace = TraceBus()
+    configs = [
+        PathConfig(bandwidth_bps=bw, delay_s=delay, loss_rate=loss)
+        for bw, delay, loss in BUFFERBLOCK_PATHS
+    ]
+    network, paths = build_two_path_network(configs, rng=RngStreams(seed), trace=trace)
+    if protocol == "fmtcp":
+        connection = FmtcpConnection(
+            network.sim, paths, BulkSource(), config=config,
+            trace=trace, rng=RngStreams(seed),
+        )
+        budget_units = config.recv_window_blocks
+    else:
+        connection = MptcpConnection(
+            network.sim, paths, BulkSource(), config=config, trace=trace
+        )
+        budget_units = config.recv_buffer_chunks
+    connection.start()
+    network.sim.run(until=duration_s)
+    delivered = connection.delivered_bytes
+    peak = connection.memory_stats()["recv_peak_occupancy"]
+    connection.close()
+    return {
+        "protocol": protocol,
+        "budget_bytes": budget_bytes,
+        "budget_units": budget_units,
+        "peak_occupancy": peak,
+        "goodput_mbytes_per_s": round(delivered / duration_s / 1e6, 4),
+    }

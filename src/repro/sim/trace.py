@@ -8,8 +8,15 @@ depends on which metrics an experiment collects.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Deque, Dict, List
+
+# Hard cap on records queued by re-entrant emits (a subscriber emitting
+# from inside a dispatch). Generous — a healthy run never queues more
+# than a handful — but finite, so a pathological subscriber feedback
+# loop degrades to counted drops instead of unbounded memory growth.
+DEFAULT_MAX_PENDING = 65536
 
 
 @dataclass(frozen=True)
@@ -33,9 +40,15 @@ Subscriber = Callable[[TraceRecord], None]
 class TraceBus:
     """Routes :class:`TraceRecord` instances to subscribers by kind."""
 
-    def __init__(self) -> None:
+    def __init__(self, max_pending: int = DEFAULT_MAX_PENDING) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self._subscribers: Dict[str, List[Subscriber]] = {}
         self._wildcard: List[Subscriber] = []
+        self.max_pending = max_pending
+        self._pending: Deque[TraceRecord] = deque()
+        self._dispatching = False
+        self.records_dropped = 0
 
     def subscribe(self, kind: str, fn: Subscriber) -> None:
         """Receive records of ``kind``; ``"*"`` subscribes to everything."""
@@ -57,11 +70,33 @@ class TraceBus:
         callback may ``subscribe``/``unsubscribe`` (itself included)
         without corrupting the loop; subscriptions added mid-emit first
         see the *next* record.
+
+        A record emitted *from inside* a dispatch (a subscriber reacting
+        by emitting) is queued and dispatched by the outermost emit once
+        its own record finishes, preserving causal order. The queue is
+        bounded by ``max_pending``: overflow increments
+        ``records_dropped`` instead of growing without limit.
         """
         targeted = self._subscribers.get(kind)
         if not targeted and not self._wildcard:
             return
         record = TraceRecord(time=time, kind=kind, fields=fields)
+        if self._dispatching:
+            if len(self._pending) >= self.max_pending:
+                self.records_dropped += 1
+            else:
+                self._pending.append(record)
+            return
+        self._dispatching = True
+        try:
+            self._dispatch(record)
+            while self._pending:
+                self._dispatch(self._pending.popleft())
+        finally:
+            self._dispatching = False
+
+    def _dispatch(self, record: TraceRecord) -> None:
+        targeted = self._subscribers.get(record.kind)
         if targeted:
             for fn in tuple(targeted):
                 fn(record)

@@ -53,10 +53,12 @@ class TraceFileWriter:
         self._flush_every = flush_every
         self.records_written = 0
         self.closed = False
+        self._last_time = 0.0
         for kind in self._kinds:
             trace.subscribe(kind, self._on_record)
 
     def _on_record(self, record: TraceRecord) -> None:
+        self._last_time = record.time
         entry = {"t": record.time, "kind": record.kind}
         for key, value in record.fields.items():
             entry[key] = _jsonable(value)
@@ -81,6 +83,15 @@ class TraceFileWriter:
         if self.closed:
             return
         self.closed = True
+        if self._trace.records_dropped > 0:
+            entry = {
+                "t": self._last_time,
+                "kind": "trace.dropped",
+                "dropped": self._trace.records_dropped,
+                "max_pending": self._trace.max_pending,
+            }
+            self._handle.write(json.dumps(entry) + "\n")
+            self.records_written += 1
         for kind in self._kinds:
             self._trace.unsubscribe(kind, self._on_record)
         self._handle.flush()

@@ -238,6 +238,11 @@ class ConnectionSampler(PeriodicSampler):
         corruption = getattr(connection, "corruption_stats", None)
         integrity = corruption() if corruption is not None else {}
         fields.update(integrity)
+        memory = getattr(connection, "memory_stats", None)
+        mem_fields = {}
+        if memory is not None:
+            mem_fields = {f"mem_{name}": value for name, value in memory().items()}
+            fields.update(mem_fields)
         self.trace.emit(self.sim.now, "telemetry.conn", **fields)
         if self.registry is not None:
             self.registry.gauge("conn.delivered_bytes").set(
@@ -249,6 +254,8 @@ class ConnectionSampler(PeriodicSampler):
             for name, value in integrity.items():
                 # Cumulative integrity counters ride as gauges: sampled
                 # state, not per-event increments.
+                self.registry.gauge(f"conn.{name}").set(float(value))
+            for name, value in mem_fields.items():
                 self.registry.gauge(f"conn.{name}").set(float(value))
 
 

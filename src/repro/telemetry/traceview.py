@@ -110,6 +110,14 @@ def summarize(records: Sequence[dict]) -> List[str]:
     ]
     if overheads:
         lines.append(_histogram_line("decoder overhead (symbols)", overheads))
+    dropped = _of_kind(records, "trace.dropped")
+    if dropped:
+        total_dropped = sum(record.get("dropped", 0) for record in dropped)
+        cap = dropped[-1].get("max_pending", "?")
+        lines.append(
+            f"trace bus dropped {total_dropped} records at the bounded "
+            f"pending-queue cap (max_pending {cap})"
+        )
     losses = _of_kind(records, "subflow.loss")
     if losses:
         by_reason: Dict[str, int] = {}

@@ -114,6 +114,56 @@ def test_corruption_knobs_default_off():
         assert all(e.kind not in CORRUPTION_KINDS for e in scenario.events)
 
 
+def test_flow_control_knobs_default_off():
+    """The flow-control machinery must be invisible unless asked for: no
+    window accountant or sender gate exists, the application drains
+    instantly, ACK feedback carries no advertised window (so its
+    integrity digest — and therefore every golden trace — is unchanged),
+    and the trace bus boots with an empty pending queue."""
+    import inspect
+
+    from repro.core.config import FmtcpConfig
+    from repro.core.connection import FmtcpConnection
+    from repro.core.packets import FmtcpFeedback
+    from repro.mptcp.connection import MptcpConfig, MptcpConnection
+    from repro.net.topology import PathConfig, build_two_path_network
+    from repro.sim.rng import RngStreams
+    from repro.sim.trace import TraceBus
+    from repro.workloads.sources import BulkSource
+
+    assert FmtcpConfig().flow_control is False
+    assert FmtcpConfig().recv_drain_rate_bps is None
+    assert MptcpConfig().flow_control is False
+    assert MptcpConfig().recv_drain_rate_bps is None
+    assert (
+        inspect.signature(FmtcpFeedback).parameters["advertised_window"].default
+        is None
+    )
+    # No advertised window -> the digest has no ":aw" suffix: the wire
+    # format (and packet CRC coverage) is byte-identical to the seed.
+    digest = FmtcpFeedback({}, 0).integrity_digest()
+    assert b":aw" not in digest
+
+    configs = [PathConfig(bandwidth_bps=4e6, delay_s=0.02) for __ in range(2)]
+    network, paths = build_two_path_network(configs, rng=RngStreams(1))
+    fmtcp = FmtcpConnection(
+        network.sim, paths, BulkSource(), config=FmtcpConfig(),
+        rng=RngStreams(1),
+    )
+    assert fmtcp.receiver.window is None
+    assert fmtcp.sender.flow_gate is None
+    mptcp = MptcpConnection(network.sim, paths, BulkSource())
+    assert mptcp.recv_window is None
+    assert mptcp.flow_gate is None
+    for connection in (fmtcp, mptcp):
+        flow = connection.flow_stats()
+        assert flow["enabled"] is False
+        connection.close()
+
+    bus = TraceBus()
+    assert bus.records_dropped == 0 and len(bus._pending) == 0
+
+
 def test_golden_file_is_byte_identical_when_regenerated():
     """With all churn and corruption knobs at their defaults, re-measuring
     every anchor reproduces ``experiments/golden.json`` byte for byte —

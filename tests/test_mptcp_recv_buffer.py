@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.mptcp.recv_buffer import ReorderBuffer
+from repro.mptcp.recv_buffer import BufferOverflowError, ReorderBuffer
+from repro.sim.trace import TraceBus
 
 
 def test_in_order_chunks_deliver_immediately():
@@ -52,6 +53,46 @@ def test_overflow_raises_rather_than_dropping():
     buffer.insert(2, "c")
     with pytest.raises(OverflowError):
         buffer.insert(3, "d")
+
+
+def test_overflow_error_carries_postmortem_state():
+    buffer = ReorderBuffer(capacity=2)
+    buffer.insert(1, "b")
+    buffer.insert(2, "c")
+    with pytest.raises(BufferOverflowError) as excinfo:
+        buffer.insert(3, "d")
+    error = excinfo.value
+    assert error.seq == 3
+    assert error.next_expected == 0
+    assert error.occupancy == 2
+    assert error.capacity == 2
+    assert "seq 3" in str(error) and "2/2" in str(error)
+
+
+def test_overflow_emits_trace_record_before_raising():
+    trace = TraceBus()
+    seen = []
+    trace.subscribe("recv.overflow", seen.append)
+    buffer = ReorderBuffer(capacity=2, trace=trace, clock=lambda: 3.5)
+    buffer.insert(1, "b")
+    buffer.insert(2, "c")
+    with pytest.raises(BufferOverflowError):
+        buffer.insert(3, "d")
+    assert len(seen) == 1
+    record = seen[0]
+    assert record.time == 3.5
+    assert record["seq"] == 3
+    assert record["occupancy"] == 2
+    assert record["capacity"] == 2
+
+
+def test_overflow_emit_skipped_without_subscribers():
+    trace = TraceBus()
+    buffer = ReorderBuffer(capacity=1, trace=trace)
+    buffer.insert(1, "b")
+    # No recv.overflow subscriber: the guard path must still raise.
+    with pytest.raises(BufferOverflowError):
+        buffer.insert(2, "c")
 
 
 def test_high_watermark():

@@ -1,5 +1,7 @@
 """Unit tests for the trace bus."""
 
+import pytest
+
 from repro.sim.trace import TraceBus, TraceRecord
 
 
@@ -119,3 +121,56 @@ def test_subscribe_during_emit_sees_next_record_only(trace):
     trace.unsubscribe("k", adder)
     trace.emit(1.0, "k")
     assert seen == [("late", 1.0)]
+
+
+def test_reentrant_emit_is_deferred_in_causal_order(trace):
+    """A subscriber emitting from inside a dispatch sees its record
+    delivered after the triggering record finishes, not recursively."""
+    seen = []
+
+    def reactor(record):
+        if record.kind == "cause":
+            trace.emit(record.time, "effect")
+
+    trace.subscribe("cause", reactor)
+    trace.subscribe("*", lambda record: seen.append(record.kind))
+    trace.emit(0.0, "cause")
+    assert seen == ["cause", "effect"]
+    assert trace.records_dropped == 0
+
+
+def test_max_pending_validation():
+    with pytest.raises(ValueError):
+        TraceBus(max_pending=0)
+
+
+def test_pending_queue_cap_counts_drops():
+    """A pathological feedback loop degrades to counted drops instead of
+    unbounded queue growth."""
+    trace = TraceBus(max_pending=4)
+    dispatched = []
+
+    def burst(record):
+        for __ in range(10):
+            trace.emit(record.time, "quiet")
+
+    trace.subscribe("burst", burst)
+    trace.subscribe("quiet", lambda record: dispatched.append(record))
+    trace.emit(1.0, "burst")
+    # 10 re-entrant emits against a cap of 4: 6 dropped, 4 delivered.
+    assert len(dispatched) == 4
+    assert trace.records_dropped == 6
+
+
+def test_pending_queue_drains_below_cap(trace):
+    dispatched = []
+
+    def burst(record):
+        for index in range(3):
+            trace.emit(record.time, "quiet", index=index)
+
+    trace.subscribe("burst", burst)
+    trace.subscribe("quiet", lambda record: dispatched.append(record["index"]))
+    trace.emit(0.0, "burst")
+    assert dispatched == [0, 1, 2]
+    assert trace.records_dropped == 0

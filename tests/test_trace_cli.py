@@ -143,3 +143,18 @@ def test_subflows_explains_missing_telemetry(tmp_path, capsys):
         trace.emit(0.0, "subflow.send", subflow=0, seq=1)
     assert main(["trace", "subflows", str(path)]) == 0
     assert "no telemetry.subflow samples" in capsys.readouterr().out
+
+
+def test_summarize_surfaces_trace_bus_drops(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "dropped.jsonl"
+    lines = [
+        {"t": 0.0, "kind": "conn.delivered", "bytes": 1000},
+        {"t": 1.0, "kind": "trace.dropped", "dropped": 42, "max_pending": 8},
+    ]
+    path.write_text("".join(json.dumps(line) + "\n" for line in lines))
+    assert main(["trace", "summarize", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "dropped 42 records" in out
+    assert "max_pending 8" in out

@@ -145,3 +145,32 @@ def test_nonscalar_fields_roundtrip_through_file(tmp_path):
     assert record["seq"] == [7, 8]
     assert record["opaque"] == "<Opaque thing>"
     assert record["none"] is None
+
+
+def test_close_writes_terminal_dropped_record(tmp_path):
+    trace = TraceBus(max_pending=2)
+    path = tmp_path / "t.jsonl"
+
+    def burst(record):
+        for __ in range(5):
+            trace.emit(record.time, "quiet")
+
+    trace.subscribe("burst", burst)
+    with TraceFileWriter(trace, str(path)) as writer:
+        trace.emit(3.0, "burst")
+    assert trace.records_dropped == 3
+    records = read_trace_file(str(path))
+    terminal = records[-1]
+    assert terminal["kind"] == "trace.dropped"
+    assert terminal["dropped"] == 3
+    assert terminal["max_pending"] == 2
+    assert terminal["t"] == 3.0  # stamped at the last record's time
+
+
+def test_no_terminal_record_without_drops(tmp_path):
+    trace = TraceBus()
+    path = tmp_path / "t.jsonl"
+    with TraceFileWriter(trace, str(path)):
+        trace.emit(0.0, "k")
+    kinds = [record["kind"] for record in read_trace_file(str(path))]
+    assert "trace.dropped" not in kinds
