@@ -616,6 +616,7 @@ def cmd_trace_record(args: argparse.Namespace) -> None:
         sample_period_s=args.sample_period,
         trace_path=args.output,
         profile_sim=args.profile,
+        spans=args.spans,
     )
     print(
         f"Recording {args.protocol} on Table I case {case.case_id} "
@@ -638,52 +639,117 @@ def cmd_trace_record(args: argparse.Namespace) -> None:
             f"{profiler_report['events_per_s']:.0f} events/s, "
             f"sim/wall x{profiler_report['sim_wall_ratio']:.0f}"
         )
+    if args.spans and report.spans is not None:
+        print(
+            f"  spans: {report.spans['finished']} finished blocks, "
+            f"max conservation error "
+            f"{report.spans['max_conservation_error_s']:.2e}s"
+        )
     print(f"Inspect with: python -m repro trace summarize {args.output}")
 
 
-def _load_trace(path: str) -> list:
+def _print_trace_menu() -> None:
+    print("trace subcommands:")
+    print("  record         run one Table I transfer with telemetry -> JSONL")
+    print("  summarize      totals, kinds, goodput, block-delay histogram")
+    print("  subflows       per-subflow cwnd/srtt/eat series")
+    print("  timeline       chronological event listing (filterable)")
+    print("  export-csv     flatten records to CSV (union-of-keys header)")
+    print("  spans          per-stage block-delay decomposition (P50/P95/P99)")
+    print("  critical-path  slowest blocks with their dominant stage")
+    print("Record a trace first: python -m repro trace record --output trace.jsonl")
+
+
+def _load_trace(path: str) -> Optional[list]:
+    """Read a JSONL trace; on failure print error + menu and return None
+    (callers turn that into exit code 2, the repro CLI error convention)."""
     from repro.sim.tracefile import read_trace_file
 
-    return read_trace_file(path)
+    try:
+        return read_trace_file(path)
+    except OSError as exc:
+        print(f"error: cannot read trace file: {exc}", file=sys.stderr)
+    except ValueError as exc:
+        print(f"error: {path} is not a JSONL trace file: {exc}", file=sys.stderr)
+    _print_trace_menu()
+    return None
 
 
-def cmd_trace_summarize(args: argparse.Namespace) -> None:
+def cmd_trace_summarize(args: argparse.Namespace) -> Optional[int]:
     from repro.telemetry import summarize
 
-    for line in summarize(_load_trace(args.file)):
+    records = _load_trace(args.file)
+    if records is None:
+        return 2
+    for line in summarize(records):
         print(line)
+    return None
 
 
-def cmd_trace_subflows(args: argparse.Namespace) -> None:
+def cmd_trace_subflows(args: argparse.Namespace) -> Optional[int]:
     from repro.telemetry import subflow_report
 
-    for line in subflow_report(_load_trace(args.file)):
+    records = _load_trace(args.file)
+    if records is None:
+        return 2
+    for line in subflow_report(records):
         print(line)
+    return None
 
 
-def cmd_trace_timeline(args: argparse.Namespace) -> None:
+def cmd_trace_timeline(args: argparse.Namespace) -> Optional[int]:
     from repro.telemetry import timeline
 
+    records = _load_trace(args.file)
+    if records is None:
+        return 2
     for line in timeline(
-        _load_trace(args.file),
+        records,
         kinds=args.kind or None,
         start=args.start,
         end=args.end,
         limit=args.limit,
     ):
         print(line)
+    return None
 
 
-def cmd_trace_export_csv(args: argparse.Namespace) -> None:
+def cmd_trace_export_csv(args: argparse.Namespace) -> Optional[int]:
     from repro.telemetry import export_csv
 
-    text = export_csv(_load_trace(args.file), kind=args.kind)
+    records = _load_trace(args.file)
+    if records is None:
+        return 2
+    text = export_csv(records, kind=args.kind)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text)
         print(f"wrote {args.output}")
     else:
         sys.stdout.write(text)
+    return None
+
+
+def cmd_trace_spans(args: argparse.Namespace) -> Optional[int]:
+    from repro.telemetry import spans_report
+
+    records = _load_trace(args.file)
+    if records is None:
+        return 2
+    for line in spans_report(records):
+        print(line)
+    return None
+
+
+def cmd_trace_critical_path(args: argparse.Namespace) -> Optional[int]:
+    from repro.telemetry import critical_path_report
+
+    records = _load_trace(args.file)
+    if records is None:
+        return 2
+    for line in critical_path_report(records, top=args.top):
+        print(line)
+    return None
 
 
 def cmd_all(args: argparse.Namespace) -> None:
@@ -697,6 +763,24 @@ def cmd_all(args: argparse.Namespace) -> None:
     cmd_fig4(args)
 
 
+class _MenuParser(argparse.ArgumentParser):
+    """ArgumentParser that prints a subcommand menu on unknown choices.
+
+    Matches the ``repro faults``/``repro policy`` convention: unknown
+    subcommands exit 2 after a helpful listing instead of a bare usage
+    string. Parsers without a ``menu`` keep stock argparse behaviour.
+    """
+
+    menu = None
+
+    def error(self, message: str) -> None:
+        if self.menu is not None and "invalid choice" in message:
+            print(f"error: {message}", file=sys.stderr)
+            self.menu()
+            raise SystemExit(2)
+        super().error(message)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -708,7 +792,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--csv", type=str, default=None, help="export rows to CSV")
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command", required=True, parser_class=_MenuParser)
     sub.add_parser("table1", help="print Table I").set_defaults(fn=cmd_table1)
     sub.add_parser("fig3", help="goodput sweep").set_defaults(fn=cmd_fig3)
     fig4 = sub.add_parser("fig4", help="loss-surge time series")
@@ -799,6 +883,7 @@ def build_parser() -> argparse.ArgumentParser:
     _policy_common(compare_p)
     compare_p.set_defaults(fn=cmd_policy_compare)
     trace = sub.add_parser("trace", help="record and analyse JSONL telemetry traces")
+    trace.menu = _print_trace_menu
     trace.set_defaults(fn=lambda args: trace.print_help())
     trace_sub = trace.add_subparsers(dest="trace_command")
     record = trace_sub.add_parser(
@@ -816,6 +901,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     record.add_argument(
         "--profile", action="store_true", help="also profile the sim engine"
+    )
+    record.add_argument(
+        "--spans",
+        action="store_true",
+        help="also decompose block delay live (summary line at the end)",
     )
     record.set_defaults(fn=cmd_trace_record)
     summarize_p = trace_sub.add_parser("summarize", help="totals, kinds, goodput")
@@ -840,6 +930,19 @@ def build_parser() -> argparse.ArgumentParser:
     export_p.add_argument("--kind", type=str, default=None, help="only this kind")
     export_p.add_argument("--output", type=str, default=None, help="write here (default stdout)")
     export_p.set_defaults(fn=cmd_trace_export_csv)
+    spans_p = trace_sub.add_parser(
+        "spans", help="per-stage block-delay decomposition (P50/P95/P99)"
+    )
+    spans_p.add_argument("file")
+    spans_p.set_defaults(fn=cmd_trace_spans)
+    critical_p = trace_sub.add_parser(
+        "critical-path", help="slowest blocks with their dominant stage"
+    )
+    critical_p.add_argument("file")
+    critical_p.add_argument(
+        "--top", type=int, default=5, help="how many slowest blocks to show"
+    )
+    critical_p.set_defaults(fn=cmd_trace_critical_path)
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--surge", type=float, default=0.25)
     everything.set_defaults(fn=cmd_all)
@@ -847,7 +950,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:
+        # Menu-driven exits (unknown subcommand) and --help land here;
+        # surface the status as a return code like every other command.
+        code = exc.code
+        if isinstance(code, int):
+            return code
+        return 0 if code is None else 2
     return args.fn(args) or 0
 
 

@@ -121,10 +121,14 @@ class BlockManager:
         config: FmtcpConfig,
         source,
         rng: Optional[random.Random] = None,
+        trace=None,
+        clock=None,
     ):
         self.config = config
         self.source = source
         self._rng = rng or random.Random()
+        self._trace = trace
+        self._clock = clock
         self._pending: List[PendingBlock] = []
         self._next_block_id = 0
         self.blocks_created = 0
@@ -193,6 +197,14 @@ class BlockManager:
         )
         self._next_block_id += 1
         self.blocks_created += 1
+        if self._trace is not None and self._trace.has_subscribers("span.block_open"):
+            self._trace.emit(
+                self._clock() if self._clock is not None else 0.0,
+                "span.block_open",
+                block_id=block.block_id,
+                k=k,
+                bytes=data_bytes,
+            )
         return block
 
     def mark_decoded(self, block_id: int) -> Optional[PendingBlock]:

@@ -43,7 +43,11 @@ class FmtcpConnection:
         rng = rng or RngStreams(0)
 
         self.block_manager = BlockManager(
-            self.config, source, rng=rng.get("fmtcp:encoder")
+            self.config,
+            source,
+            rng=rng.get("fmtcp:encoder"),
+            trace=trace,
+            clock=lambda: sim.now,
         )
         self.sender = FmtcpSender(sim, self.config, self.block_manager, trace=trace)
         self.receiver = FmtcpReceiver(

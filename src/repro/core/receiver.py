@@ -142,9 +142,9 @@ class FmtcpReceiver:
     def on_segment(self, subflow_id: int, segment) -> None:
         payload: FmtcpSegmentPayload = segment.payload
         for group in payload.groups:
-            self._absorb_group(group)
+            self._absorb_group(group, subflow_id)
 
-    def _absorb_group(self, group) -> None:
+    def _absorb_group(self, group, subflow_id: int = -1) -> None:
         if self._is_decoded(group.block_id):
             self.symbols_received += group.count
             self.symbols_redundant += group.count
@@ -177,6 +177,14 @@ class FmtcpReceiver:
             self._active[group.block_id] = active
             if self.buffered_blocks > self.peak_buffered_blocks:
                 self.peak_buffered_blocks = self.buffered_blocks
+        if self.trace is not None and self.trace.has_subscribers("span.symbols_rx"):
+            self.trace.emit(
+                self.sim.now,
+                "span.symbols_rx",
+                block_id=group.block_id,
+                subflow=subflow_id,
+                n=group.count,
+            )
         decoder = active.decoder
         if group.symbols is not None:
             for symbol in group.symbols:

@@ -276,6 +276,9 @@ class FmtcpSender(SubflowOwner):
     ) -> Tuple[FmtcpSegmentPayload, int]:
         groups = []
         size = 0
+        span_live = self.trace is not None and self.trace.has_subscribers(
+            "span.symbols_tx"
+        )
         for block_id, count in result.vector:
             block = self.blocks.block_by_id(block_id)
             if block is None:  # Decoded since allocation ran; skip quietly.
@@ -293,6 +296,15 @@ class FmtcpSender(SubflowOwner):
                     block_crc=block.block_crc,
                 )
             )
+            if span_live:
+                self.trace.emit(
+                    self.sim.now,
+                    "span.symbols_tx",
+                    block_id=block_id,
+                    subflow=subflow.subflow_id,
+                    n=count,
+                    first=block.first_tx_at is None,
+                )
             block.record_sent(subflow.subflow_id, count, self.sim.now)
             size += count * self.config.symbol_wire_size
             self.symbols_sent += count
@@ -319,6 +331,16 @@ class FmtcpSender(SubflowOwner):
         payload: FmtcpSegmentPayload = info.payload
         self._resolve_groups(subflow, payload)
         self.symbols_lost += payload.total_symbols()
+        if self.trace is not None and self.trace.has_subscribers("span.symbols_lost"):
+            for group in payload.groups:
+                self.trace.emit(
+                    self.sim.now,
+                    "span.symbols_lost",
+                    block_id=group.block_id,
+                    subflow=subflow.subflow_id,
+                    n=group.count,
+                    reason=reason,
+                )
         # Losing symbols re-opens demand; give every subflow a chance to
         # carry the replacements (the allocator decides which one wins).
         self.pump_all()
@@ -337,6 +359,16 @@ class FmtcpSender(SubflowOwner):
         payload: FmtcpSegmentPayload = info.payload
         self._resolve_groups(subflow, payload)
         self.symbols_lost += payload.total_symbols()
+        if self.trace is not None and self.trace.has_subscribers("span.symbols_lost"):
+            for group in payload.groups:
+                self.trace.emit(
+                    self.sim.now,
+                    "span.symbols_lost",
+                    block_id=group.block_id,
+                    subflow=subflow.subflow_id,
+                    n=group.count,
+                    reason="abandoned",
+                )
 
     # ------------------------------------------------------------------
     # SubflowOwner: dead-path failover.
@@ -433,7 +465,11 @@ class FmtcpSender(SubflowOwner):
             return
         if self.config.adaptive_margin:
             self._adapt_margin(block)
-        if self.trace is not None and block.first_tx_at is not None:
+        if (
+            self.trace is not None
+            and block.first_tx_at is not None
+            and self.trace.has_subscribers("conn.block_done")
+        ):
             self.trace.emit(
                 self.sim.now,
                 "conn.block_done",

@@ -317,7 +317,11 @@ class FixedRateConnection(SubflowOwner):
             remaining = [(b, s) for b, s in queue if b != block_id]
             queue.clear()
             queue.extend(remaining)
-        if self.trace is not None and block.first_tx_at is not None:
+        if (
+            self.trace is not None
+            and block.first_tx_at is not None
+            and self.trace.has_subscribers("conn.block_done")
+        ):
             self.trace.emit(
                 self.sim.now,
                 "conn.block_done",

@@ -423,6 +423,15 @@ class MptcpConnection(SubflowOwner):
                 continue  # Delivered meanwhile via another copy.
             self.chunks_retransmitted += 1
             self._chunk_registry[chunk.dsn] = (subflow.subflow_id, chunk)
+            if self.trace is not None and self.trace.has_subscribers(
+                "span.chunk_retx"
+            ):
+                self.trace.emit(
+                    self.sim.now,
+                    "span.chunk_retx",
+                    dsn=chunk.dsn,
+                    subflow=subflow.subflow_id,
+                )
             return chunk, chunk.size
 
         if subflow.potentially_failed:
@@ -447,6 +456,15 @@ class MptcpConnection(SubflowOwner):
                 continue
             self.chunks_retransmitted += 1
             self._chunk_registry[chunk.dsn] = (subflow.subflow_id, chunk)
+            if self.trace is not None and self.trace.has_subscribers(
+                "span.chunk_retx"
+            ):
+                self.trace.emit(
+                    self.sim.now,
+                    "span.chunk_retx",
+                    dsn=chunk.dsn,
+                    subflow=subflow.subflow_id,
+                )
             return chunk, chunk.size
 
         if self._window_probe_due:
@@ -502,12 +520,29 @@ class MptcpConnection(SubflowOwner):
         block_id = self._block_of_offset(self._pulled_stream_bytes)
         self._pulled_stream_bytes += size
         self._block_first_tx.setdefault(block_id, self.sim.now)
+        if self.trace is not None and self.trace.has_subscribers("span.chunk_tx"):
+            self.trace.emit(
+                self.sim.now,
+                "span.chunk_tx",
+                dsn=chunk.dsn,
+                block=block_id,
+                subflow=subflow.subflow_id,
+                size=size,
+            )
         return chunk, size
 
     def on_payload_lost(self, subflow: Subflow, info: SubflowPacketInfo, reason: str) -> None:
         chunk: Chunk = info.payload
         if chunk.dsn < self._data_acked:
             return  # Already delivered; nothing to repair.
+        if self.trace is not None and self.trace.has_subscribers("span.chunk_lost"):
+            self.trace.emit(
+                self.sim.now,
+                "span.chunk_lost",
+                dsn=chunk.dsn,
+                subflow=subflow.subflow_id,
+                reason=reason,
+            )
         if reason == "timeout":
             chunk.timeouts += 1
             limit = self.config.reinject_after_timeouts
@@ -617,7 +652,11 @@ class MptcpConnection(SubflowOwner):
         while self._acked_bytes >= (self._completed_blocks + 1) * self.config.block_bytes:
             block_id = self._completed_blocks
             started = self._block_first_tx.pop(block_id, None)
-            if started is not None and self.trace is not None:
+            if (
+                started is not None
+                and self.trace is not None
+                and self.trace.has_subscribers("conn.block_done")
+            ):
                 self.trace.emit(
                     self.sim.now,
                     "conn.block_done",
@@ -666,6 +705,13 @@ class MptcpConnection(SubflowOwner):
                     limit=self.recv_window.limit,
                 )
             return False
+        if self.trace is not None and self.trace.has_subscribers("span.chunk_rx"):
+            self.trace.emit(
+                self.sim.now,
+                "span.chunk_rx",
+                dsn=chunk.dsn,
+                subflow=subflow_id,
+            )
         for __, delivered in self._reorder.insert(chunk.dsn, chunk):
             if self._drain_rate is not None:
                 # A modelled application reads at a finite rate: the

@@ -122,7 +122,8 @@ class Link:
         self._down = bool(down)
         if self.trace is not None:
             kind = "link.down" if self._down else "link.up"
-            self.trace.emit(self.sim.now, kind, link=self.name)
+            if self.trace.has_subscribers(kind):
+                self.trace.emit(self.sim.now, kind, link=self.name)
 
     # ------------------------------------------------------------------
     # Data path.
@@ -139,7 +140,9 @@ class Link:
         if self._busy:
             if not self.queue.try_enqueue(packet):
                 self.packets_dropped_queue += 1
-                if self.trace is not None:
+                if self.trace is not None and self.trace.has_subscribers(
+                    "link.drop_queue"
+                ):
                     self.trace.emit(
                         self.sim.now, "link.drop_queue", link=self.name, packet=packet
                     )
@@ -148,7 +151,7 @@ class Link:
 
     def _drop_down(self, packet: Packet) -> None:
         self.packets_dropped_down += 1
-        if self.trace is not None:
+        if self.trace is not None and self.trace.has_subscribers("link.drop_down"):
             self.trace.emit(
                 self.sim.now, "link.drop_down", link=self.name, packet=packet
             )
@@ -170,7 +173,9 @@ class Link:
             return
         if self.loss_model.should_drop(self.sim.now, self.rng):
             self.packets_dropped_loss += 1
-            if self.trace is not None:
+            if self.trace is not None and self.trace.has_subscribers(
+                "link.drop_loss"
+            ):
                 self.trace.emit(
                     self.sim.now, "link.drop_loss", link=self.name, packet=packet
                 )
@@ -182,7 +187,9 @@ class Link:
             damaged = self.corruption_model.apply(packet, self.sim.now, self.rng)
             if damaged is not None:
                 self.packets_corrupted += 1
-                if self.trace is not None:
+                if self.trace is not None and self.trace.has_subscribers(
+                    "link.corrupt"
+                ):
                     self.trace.emit(
                         self.sim.now, "link.corrupt", link=self.name, packet=packet
                     )

@@ -165,7 +165,11 @@ class TcpConnection(SubflowOwner):
         while self._acked_bytes >= (self._completed_blocks + 1) * self.config.block_bytes:
             block_id = self._completed_blocks
             started = self._block_first_tx.pop(block_id, None)
-            if started is not None and self.trace is not None:
+            if (
+                started is not None
+                and self.trace is not None
+                and self.trace.has_subscribers("conn.block_done")
+            ):
                 self.trace.emit(
                     self.sim.now,
                     "conn.block_done",

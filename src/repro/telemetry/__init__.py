@@ -27,6 +27,16 @@ from repro.telemetry.samplers import (
     subflow_state_fields,
 )
 from repro.telemetry.session import TelemetryConfig, TelemetryReport, TelemetrySession
+from repro.telemetry.spans import (
+    FMTCP_STAGES,
+    MPTCP_STAGES,
+    SPAN_KINDS,
+    BlockSpan,
+    SpanCollector,
+    collect_spans,
+    critical_path_report,
+    spans_report,
+)
 from repro.telemetry.traceview import (
     export_csv,
     kind_counts,
@@ -55,6 +65,14 @@ __all__ = [
     "TelemetryConfig",
     "TelemetryReport",
     "TelemetrySession",
+    "BlockSpan",
+    "SpanCollector",
+    "SPAN_KINDS",
+    "FMTCP_STAGES",
+    "MPTCP_STAGES",
+    "collect_spans",
+    "spans_report",
+    "critical_path_report",
     "summarize",
     "subflow_report",
     "timeline",

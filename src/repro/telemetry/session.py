@@ -25,6 +25,7 @@ from repro.telemetry.flight import FlightRecorder
 from repro.telemetry.profiler import SimProfiler
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.samplers import PeriodicSampler, attach_samplers
+from repro.telemetry.spans import SpanCollector
 
 
 @dataclass
@@ -35,7 +36,9 @@ class TelemetryConfig:
     :class:`~repro.sim.tracefile.TraceFileWriter` (``trace_kinds`` limits
     which; ``None`` means everything). ``profile_sim`` attaches the
     engine profiler. ``flight_capacity`` > 0 keeps a flight-recorder ring
-    available for dumping on failures.
+    available for dumping on failures. ``spans`` attaches a live
+    :class:`~repro.telemetry.spans.SpanCollector` whose per-stage delay
+    decomposition lands in ``TelemetryReport.spans``.
     """
 
     sample_period_s: float = 0.1
@@ -43,6 +46,7 @@ class TelemetryConfig:
     trace_kinds: Optional[Tuple[str, ...]] = None
     profile_sim: bool = False
     flight_capacity: int = 0
+    spans: bool = False
 
     def __post_init__(self) -> None:
         if self.sample_period_s <= 0:
@@ -60,12 +64,19 @@ class TelemetryReport:
     trace_path: Optional[str] = None
     trace_records_written: int = 0
     flight_records: int = 0
+    spans: Optional[Dict[str, object]] = None
 
     def render(self) -> List[str]:
         lines = []
         if self.trace_path is not None:
             lines.append(
                 f"trace: {self.trace_records_written} records -> {self.trace_path}"
+            )
+        if self.spans is not None:
+            lines.append(
+                f"spans: {self.spans['finished']} finished blocks, "
+                f"max conservation error "
+                f"{self.spans['max_conservation_error_s']:.2e}s"
             )
         for name, value in sorted(self.metrics.items()):
             if isinstance(value, dict):
@@ -98,6 +109,7 @@ class TelemetrySession:
         self.writer: Optional[TraceFileWriter] = None
         self.profiler: Optional[SimProfiler] = None
         self.flight: Optional[FlightRecorder] = None
+        self.spans: Optional[SpanCollector] = None
         self._finished = False
 
         if self.config.trace_path is not None:
@@ -109,6 +121,9 @@ class TelemetrySession:
             sim.set_profiler(self.profiler)
         if self.config.flight_capacity > 0:
             self.flight = FlightRecorder(trace, capacity=self.config.flight_capacity)
+        if self.config.spans:
+            self.spans = SpanCollector()
+            self.spans.attach(trace)
 
     def attach(self, connection) -> None:
         """Start samplers for one transport connection (callable per flow)."""
@@ -138,6 +153,8 @@ class TelemetrySession:
                 self.sim.set_profiler(None)
             if self.flight is not None:
                 self.flight.close()
+            if self.spans is not None:
+                self.spans.detach()
         return TelemetryReport(
             metrics=self.registry.snapshot(),
             profile=self.profiler.report() if self.profiler is not None else None,
@@ -146,6 +163,7 @@ class TelemetrySession:
                 self.writer.records_written if self.writer is not None else 0
             ),
             flight_records=len(self.flight) if self.flight is not None else 0,
+            spans=self.spans.summary() if self.spans is not None else None,
         )
 
     def __enter__(self) -> "TelemetrySession":

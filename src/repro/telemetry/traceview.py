@@ -126,6 +126,16 @@ def summarize(records: Sequence[dict]) -> List[str]:
             by_reason[reason] = by_reason.get(reason, 0) + 1
         detail = ", ".join(f"{reason}={n}" for reason, n in sorted(by_reason.items()))
         lines.append(f"losses: {len(losses)} ({detail})")
+    n_span = sum(
+        count
+        for kind, count in kind_counts(records).items()
+        if kind.startswith("span.")
+    )
+    if n_span:
+        lines.append(
+            f"{n_span} span records — decompose block delay with "
+            f"`repro trace spans` / `repro trace critical-path`"
+        )
     return lines
 
 

@@ -164,6 +164,34 @@ def test_flow_control_knobs_default_off():
     assert bus.records_dropped == 0 and len(bus._pending) == 0
 
 
+def test_span_knobs_default_off():
+    """The span layer must be invisible unless asked for: telemetry does
+    not collect spans by default, block managers are born untraced, and a
+    fresh trace bus has no span subscribers (so every ``span.*`` emit
+    stays behind its ``has_subscribers`` guard and costs two lookups)."""
+    import inspect
+
+    from repro.core.blocks import BlockManager
+    from repro.sim.trace import TraceBus
+    from repro.telemetry import SPAN_KINDS, TelemetryConfig, TelemetrySession
+    from repro.sim.engine import Simulator
+
+    assert TelemetryConfig().spans is False
+    parameters = inspect.signature(BlockManager).parameters
+    assert parameters["trace"].default is None
+    assert parameters["clock"].default is None
+
+    bus = TraceBus()
+    for kind in SPAN_KINDS:
+        assert not bus.has_subscribers(kind)
+
+    # A default session attaches no collector either.
+    session = TelemetrySession(Simulator(), bus)
+    assert session.spans is None
+    assert not bus.has_subscribers("span.block_open")
+    session.finish()
+
+
 def test_golden_file_is_byte_identical_when_regenerated():
     """With all churn and corruption knobs at their defaults, re-measuring
     every anchor reproduces ``experiments/golden.json`` byte for byte —

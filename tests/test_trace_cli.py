@@ -32,6 +32,8 @@ def test_parser_knows_trace_subcommands():
         ["trace", "subflows", "f.jsonl"],
         ["trace", "timeline", "f.jsonl", "--kind", "subflow.loss"],
         ["trace", "export-csv", "f.jsonl"],
+        ["trace", "spans", "f.jsonl"],
+        ["trace", "critical-path", "f.jsonl", "--top", "3"],
     ):
         args = parser.parse_args(argv)
         assert callable(args.fn)
@@ -158,3 +160,74 @@ def test_summarize_surfaces_trace_bus_drops(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "dropped 42 records" in out
     assert "max_pending 8" in out
+
+
+def test_spans_renders_stage_table(recorded_trace, capsys):
+    # The recorded trace's wildcard writer captured every span record, so
+    # the offline decomposition works without any --spans flag at record
+    # time.
+    assert main(["trace", "spans", recorded_trace]) == 0
+    out = capsys.readouterr().out
+    assert "finished block spans" in out
+    for stage in ("sched_wait", "transmit", "decode_wait", "reorder_wait"):
+        assert stage in out
+    assert "p95" in out or "p95(ms)" in out
+
+
+def test_critical_path_renders_slowest_blocks(recorded_trace, capsys):
+    assert main(["trace", "critical-path", recorded_trace, "--top", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "slowest 2 of" in out
+    assert "critical stage" in out
+    assert "legs:" in out
+
+
+def test_summarize_hints_at_span_decomposition(recorded_trace, capsys):
+    assert main(["trace", "summarize", recorded_trace]) == 0
+    out = capsys.readouterr().out
+    assert "span records" in out
+    assert "repro trace spans" in out
+
+
+def test_unknown_trace_subcommand_exits_2_with_menu(capsys):
+    assert main(["trace", "bogus"]) == 2
+    captured = capsys.readouterr()
+    assert "invalid choice" in captured.err
+    assert "trace subcommands:" in captured.out
+    assert "spans" in captured.out and "critical-path" in captured.out
+
+
+@pytest.mark.parametrize(
+    "subcommand", ["summarize", "subflows", "timeline", "export-csv", "spans"]
+)
+def test_missing_trace_file_exits_2_with_menu(subcommand, capsys, tmp_path):
+    assert main(["trace", subcommand, str(tmp_path / "nope.jsonl")]) == 2
+    captured = capsys.readouterr()
+    assert "error: cannot read trace file" in captured.err
+    assert "trace subcommands:" in captured.out
+
+
+def test_corrupt_trace_file_exits_2_with_menu(tmp_path, capsys):
+    path = tmp_path / "corrupt.jsonl"
+    # Mid-file garbage (a torn *last* line would be silently dropped).
+    path.write_text('{"t": 0.0, "kind": "a"}\nnot json at all\n{"t": 1.0}\n')
+    assert main(["trace", "spans", str(path)]) == 2
+    captured = capsys.readouterr()
+    assert "not a JSONL trace file" in captured.err
+    assert "trace subcommands:" in captured.out
+
+
+def test_record_with_spans_prints_conservation_line(tmp_path, capsys):
+    output = tmp_path / "spanned.jsonl"
+    assert main(
+        [
+            "--duration", "1",
+            "trace", "record",
+            "--case", "1",
+            "--output", str(output),
+            "--spans",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "spans:" in out
+    assert "conservation error" in out

@@ -1,0 +1,55 @@
+"""export_csv edge cases: empty traces, heterogeneous field sets, and
+column-order stability."""
+
+from repro.telemetry import export_csv
+
+
+def test_empty_records_yield_header_only():
+    assert export_csv([]) == "t,kind\n"
+
+
+def test_empty_trace_file_roundtrip(tmp_path):
+    from repro.sim.tracefile import read_trace_file
+
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert export_csv(read_trace_file(str(path))) == "t,kind\n"
+
+
+def test_kind_filter_with_no_matches_yields_header_only():
+    records = [{"t": 0.1, "kind": "a", "x": 1}]
+    assert export_csv(records, kind="nope") == "t,kind\n"
+
+
+def test_heterogeneous_fields_union_header_first_seen_order():
+    records = [
+        {"t": 0.1, "kind": "a", "x": 1},
+        {"t": 0.2, "kind": "b", "y": 2, "z": 3},
+        {"t": 0.3, "kind": "a", "x": 4, "w": 5},
+    ]
+    text = export_csv(records)
+    lines = text.splitlines()
+    # Base fields first, then union of keys in first-seen order.
+    assert lines[0] == "t,kind,x,y,z,w"
+    # Absent fields are empty cells, never omitted or shifted.
+    assert lines[1] == "0.1,a,1,,,"
+    assert lines[2] == "0.2,b,,2,3,"
+    assert lines[3] == "0.3,a,4,,,5"
+
+
+def test_none_values_render_as_empty_cells():
+    records = [{"t": 0.1, "kind": "a", "x": None, "y": 0}]
+    lines = export_csv(records).splitlines()
+    assert lines[0] == "t,kind,x,y"
+    assert lines[1] == "0.1,a,,0"
+
+
+def test_column_order_is_deterministic_across_calls():
+    records = [
+        {"t": 0.1, "kind": "a", "b_field": 1, "a_field": 2},
+        {"t": 0.2, "kind": "a", "c_field": 3},
+    ]
+    assert export_csv(records) == export_csv(records)
+    header = export_csv(records).splitlines()[0]
+    # First-seen order, not alphabetical.
+    assert header == "t,kind,b_field,a_field,c_field"

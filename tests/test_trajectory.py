@@ -1,0 +1,92 @@
+"""Perf-trajectory ledger: schema, append semantics, regression gate,
+and the committed seed row the CI gate consumes."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "trajectory", Path(__file__).parent.parent / "benchmarks" / "trajectory.py"
+)
+trajectory = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("trajectory", trajectory)
+_SPEC.loader.exec_module(trajectory)
+
+
+def _row(events_per_s, label="x"):
+    return {
+        "schema": trajectory.SCHEMA_VERSION,
+        "label": label,
+        "events_per_s": events_per_s,
+    }
+
+
+def test_ledger_roundtrip_and_append(tmp_path):
+    path = tmp_path / "BENCH_trajectory.json"
+    assert trajectory.load_ledger(path) == {
+        "schema": trajectory.SCHEMA_VERSION,
+        "rows": [],
+    }
+    trajectory.append_row(_row(1000.0, "first"), path)
+    ledger = trajectory.append_row(_row(990.0, "second"), path)
+    assert len(ledger["rows"]) == 2
+    on_disk = json.loads(path.read_text())
+    assert on_disk["schema"] == trajectory.SCHEMA_VERSION
+    assert [r["label"] for r in on_disk["rows"]] == ["first", "second"]
+
+
+def test_unknown_schema_is_rejected(tmp_path):
+    path = tmp_path / "BENCH_trajectory.json"
+    path.write_text(json.dumps({"schema": 999, "rows": []}))
+    with pytest.raises(ValueError, match="schema"):
+        trajectory.load_ledger(path)
+
+
+def test_regression_gate_logic():
+    check = trajectory.check_regression
+    # Fewer than two rows: nothing to compare.
+    assert check([]) is None
+    assert check([_row(1000.0)]) is None
+    # Within threshold (25% default): fine, including improvements.
+    assert check([_row(1000.0), _row(800.0)]) is None
+    assert check([_row(1000.0), _row(1500.0)]) is None
+    # A >25% drop fails with a diagnostic naming both rows.
+    error = check([_row(1000.0, "good"), _row(700.0, "bad")])
+    assert error is not None
+    assert "good" in error and "bad" in error and "30.0%" in error
+    # Tighter threshold catches smaller drops.
+    assert check([_row(1000.0), _row(940.0)], threshold=0.05) is not None
+
+
+def test_committed_ledger_has_schema_versioned_row():
+    """The acceptance criterion: BENCH_trajectory.json exists in-repo
+    with >= 1 schema-versioned row the CI gate can compare against."""
+    ledger = trajectory.load_ledger()
+    assert ledger["schema"] == trajectory.SCHEMA_VERSION
+    assert len(ledger["rows"]) >= 1
+    row = ledger["rows"][-1]
+    assert row["schema"] == trajectory.SCHEMA_VERSION
+    for field in (
+        "label",
+        "events",
+        "events_per_s",
+        "wall_s",
+        "goodput_mbytes_per_s",
+        "spans_finished",
+        "stage_p50_ms",
+    ):
+        assert field in row, f"ledger row is missing {field!r}"
+    assert row["events_per_s"] > 0
+    assert row["spans_finished"] > 0
+
+
+def test_probe_produces_complete_row():
+    row = trajectory.probe(duration_s=2.0)
+    assert row["schema"] == trajectory.SCHEMA_VERSION
+    assert row["events"] > 0 and row["events_per_s"] > 0
+    assert row["spans_finished"] > 0
+    assert row["max_conservation_error_s"] < 1e-9
+    assert set(row["stage_p50_ms"]) >= {"sched_wait", "transmit", "total"}
