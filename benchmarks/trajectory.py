@@ -28,6 +28,9 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 SCHEMA_VERSION = 1
 LEDGER_PATH = Path(__file__).parent / "results" / "BENCH_trajectory.json"
+# Row ledger appended by benchmarks/bench_recovery.py; `check` gates on
+# it when present (crash-recovery goodput retention must not regress).
+RECOVERY_LEDGER_PATH = Path(__file__).parent / "results" / "BENCH_recovery.json"
 
 # The probe workload: one fixed Table I transfer, profiled + span-traced.
 PROBE_PROTOCOL = "fmtcp"
@@ -161,6 +164,31 @@ def cmd_check(args: argparse.Namespace) -> int:
         f"{latest['events_per_s']:g} events/s "
         f"(threshold {args.threshold:.0%})"
     )
+    if RECOVERY_LEDGER_PATH.exists():
+        recovery_rows = load_ledger(RECOVERY_LEDGER_PATH)["rows"]
+        if recovery_rows:
+            error = check_regression(
+                recovery_rows,
+                metric="fmtcp_goodput_retention",
+                threshold=args.threshold,
+            )
+            if error is not None:
+                print(f"error: recovery {error}", file=sys.stderr)
+                return 1
+            newest = recovery_rows[-1]
+            fmtcp = newest.get("fmtcp_goodput_retention", 0)
+            mptcp = newest.get("mptcp_goodput_retention", 0)
+            if fmtcp < mptcp:
+                print(
+                    f"error: recovery retention inverted: FMTCP {fmtcp:g} "
+                    f"< MPTCP {mptcp:g} under receiver_crash",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"recovery ok: {len(recovery_rows)} rows, latest retention "
+                f"fmtcp {fmtcp:g} / mptcp {mptcp:g}"
+            )
     return 0
 
 

@@ -275,8 +275,10 @@ def cmd_replicate(args: argparse.Namespace) -> None:
 def _print_fault_scenarios() -> None:
     from repro.faults import (
         CORRUPTION_SCENARIOS,
+        CRASH_KINDS,
         EXHAUSTION_SCENARIOS,
         MOBILITY_SCENARIOS,
+        RECOVERY_SCENARIOS,
         SCENARIOS,
     )
 
@@ -307,6 +309,20 @@ def _print_fault_scenarios() -> None:
         print(
             f"  {name:>23}: {scenario.recv_budget_bytes // 1024} KiB budget — "
             f"{scenario.description}"
+        )
+    print("Recovery presets (endpoint crash/restart, byte-verified delivery):")
+    for name in sorted(RECOVERY_SCENARIOS):
+        scenario = RECOVERY_SCENARIOS[name]()
+        crashes = sum(1 for e in scenario.events if e.kind in CRASH_KINDS[:2])
+        restarts = sum(1 for e in scenario.events if e.kind == "restart")
+        window = (
+            f"{scenario.events[0].time:.0f}-{scenario.events[-1].time:.0f}s"
+            if scenario.events
+            else "-"
+        )
+        print(
+            f"  {name:>23}: {crashes} crash(es) / {restarts} restart(s), "
+            f"window {window}"
         )
 
 
@@ -384,7 +400,23 @@ def cmd_faults(args: argparse.Namespace) -> Optional[int]:
         f"{duration:.0f}s run, seed {args.seed}"
     )
     for protocol in protocols:
-        if scenario.has_corruption:
+        if scenario.has_endpoint_faults:
+            from repro.faults import run_recovery
+
+            report = run_recovery(
+                protocol,
+                scenario,
+                seed=args.seed,
+                duration_s=duration,
+                flight_dump_dir=args.flight_dir,
+            )
+            progress = (
+                f"{report.crashes} crashes / {report.resumes} resumes / "
+                f"{report.attempts} attempts"
+            )
+            if report.recovery_state == "failed":
+                progress += f", clean fail: {report.fail_reason}"
+        elif scenario.has_corruption:
             report = run_corruption(
                 protocol,
                 scenario,
@@ -436,6 +468,37 @@ def cmd_faults(args: argparse.Namespace) -> Optional[int]:
         if report.flight_dump_path is not None:
             print(f"          flight recorder dump: {report.flight_dump_path}")
             print(f"          profiler report:      {report.profile_dump_path}")
+    if args.bench and scenario.has_endpoint_faults:
+        from repro.faults import measure_recovery
+
+        print("Recovery response (crash run vs clean baseline):")
+        widths = [8, 10, 10, 8, 10, 10]
+        print(
+            _fmt_row(
+                ["proto", "clean(s)", "crash(s)", "retain", "outage(s)", "ckpt(B)"],
+                widths,
+            )
+        )
+        for protocol in protocols:
+            row = measure_recovery(protocol, scenario, seed=args.seed)
+            print(
+                _fmt_row(
+                    [
+                        protocol,
+                        f"{row['baseline_completion_s']:.1f}"
+                        if row["baseline_completion_s"]
+                        else "never",
+                        f"{row['crashed_completion_s']:.1f}"
+                        if row["crashed_completion_s"]
+                        else "never",
+                        f"{row['goodput_retention']:.2f}",
+                        f"{row['max_outage_s']:.2f}",
+                        str(row["checkpoint_bytes"]),
+                    ],
+                    widths,
+                )
+            )
+        return None
     if args.bench:
         print("Goodput response (open-ended transfer):")
         widths = [8, 10, 10, 10, 10, 10]

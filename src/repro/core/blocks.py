@@ -123,14 +123,20 @@ class BlockManager:
         rng: Optional[random.Random] = None,
         trace=None,
         clock=None,
+        start_block_id: int = 0,
     ):
+        if start_block_id < 0:
+            raise ValueError("start_block_id must be >= 0")
         self.config = config
         self.source = source
         self._rng = rng or random.Random()
         self._trace = trace
         self._clock = clock
         self._pending: List[PendingBlock] = []
-        self._next_block_id = 0
+        # Nonzero when restoring from a recovery checkpoint: block ids
+        # below the cursor were confirmed delivered in a previous epoch
+        # (the source must be rewound to the matching stream offset).
+        self._next_block_id = int(start_block_id)
         self.blocks_created = 0
         self.blocks_completed = 0
         self.source_exhausted = False

@@ -34,6 +34,7 @@ class FmtcpConnection:
         trace: Optional[TraceBus] = None,
         rng: Optional[RngStreams] = None,
         sink: Optional[Callable[[int, Optional[bytes]], None]] = None,
+        resume=None,
     ):
         if not paths:
             raise ValueError("need at least one path")
@@ -42,16 +43,40 @@ class FmtcpConnection:
         self.trace = trace
         rng = rng or RngStreams(0)
 
+        # ``resume`` (duck-typed; see repro.recovery.checkpoint.ResumeState)
+        # restores a checkpointed endpoint pair after a crash: the block
+        # cursor and sender frontier restart at the sender's last durable
+        # checkpoint (the source must already be rewound to the matching
+        # stream offset), the receiver at its delivered-block frontier.
+        sender_frontier = int(resume.sender_frontier) if resume is not None else 0
+        sender_margin = resume.sender_margin if resume is not None else None
+        receiver_frontier = int(resume.receiver_frontier) if resume is not None else 0
+        receiver_bytes = int(resume.receiver_bytes) if resume is not None else 0
+
         self.block_manager = BlockManager(
             self.config,
             source,
             rng=rng.get("fmtcp:encoder"),
             trace=trace,
             clock=lambda: sim.now,
+            start_block_id=sender_frontier,
         )
-        self.sender = FmtcpSender(sim, self.config, self.block_manager, trace=trace)
+        self.sender = FmtcpSender(
+            sim,
+            self.config,
+            self.block_manager,
+            trace=trace,
+            resume_frontier=sender_frontier,
+            resume_margin=sender_margin,
+        )
         self.receiver = FmtcpReceiver(
-            sim, self.config, trace=trace, rng=rng.get("fmtcp:rank"), sink=sink
+            sim,
+            self.config,
+            trace=trace,
+            rng=rng.get("fmtcp:rank"),
+            sink=sink,
+            resume_frontier=receiver_frontier,
+            resume_bytes=receiver_bytes,
         )
 
         self.subflows: List[Subflow] = []
@@ -178,6 +203,22 @@ class FmtcpConnection:
             subflow.close()
         for sink in self._sinks:
             sink.close()
+
+    def sever_receiver(self) -> int:
+        """Kill the receiver endpoint only, leaving the sender running.
+
+        Models a receiver crash: the receiver's timers stop and its ports
+        unbind, so data segments are silently dropped by the network node
+        and no feedback flows back. The sender keeps transmitting into the
+        void until its RTO ladder marks every subflow potentially-failed —
+        the half-open window the recovery manager's detector watches for.
+        Port unbinding is idempotent, so a later ``close()`` on the whole
+        connection is safe. Returns the number of sinks closed.
+        """
+        self.receiver.close()
+        for sink in self._sinks:
+            sink.close()
+        return len(self._sinks)
 
     # ------------------------------------------------------------------
     # Introspection.

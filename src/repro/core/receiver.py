@@ -94,7 +94,11 @@ class FmtcpReceiver:
         trace: Optional[TraceBus] = None,
         rng: Optional[random.Random] = None,
         sink: Optional[Callable[[int, Optional[bytes]], None]] = None,
+        resume_frontier: int = 0,
+        resume_bytes: int = 0,
     ):
+        if resume_frontier < 0 or resume_bytes < 0:
+            raise ValueError("resume_frontier and resume_bytes must be >= 0")
         self.sim = sim
         self.config = config
         self.trace = trace
@@ -104,13 +108,18 @@ class FmtcpReceiver:
         self._active: Dict[int, _ActiveBlock] = {}
         # Decoded but not yet deliverable in order: block_id -> (bytes, data)
         self._decoded_waiting: Dict[int, Tuple[int, Optional[bytes]]] = {}
-        self._deliver_next = 0  # next block id owed to the application
-        self._decode_frontier = 0  # all blocks below this are decoded
+        # resume_frontier/resume_bytes restore a recovery checkpoint: all
+        # blocks below the frontier were handed to the application in a
+        # previous epoch. Partial decode matrices are deliberately NOT
+        # restored — fountain coding is rateless, so the sender simply
+        # streams more symbols for whatever was mid-decode at the crash.
+        self._deliver_next = int(resume_frontier)  # next block id owed to the app
+        self._decode_frontier = int(resume_frontier)  # all below this decoded
 
         self.symbols_received = 0
         self.symbols_redundant = 0
         self.blocks_decoded = 0
-        self.delivered_bytes = 0
+        self.delivered_bytes = int(resume_bytes)
         self.decode_times: Dict[int, float] = {}
         # Decoder-poisoning quarantine: block_id -> eviction count. An
         # entry means the block's whole symbol basis was thrown away at
@@ -126,13 +135,18 @@ class FmtcpReceiver:
         self.window: Optional[ReceiveWindow] = (
             ReceiveWindow(config.recv_window_blocks) if config.flow_control else None
         )
+        if self.window is not None and resume_frontier:
+            # Blocks delivered before the crash were drained by
+            # definition (delivery *is* the durable commit), so the
+            # licensed limit restarts at frontier + capacity.
+            self.window.on_drained(resume_frontier)
         self._drain_rate: Optional[float] = (
             config.recv_drain_rate_bps if config.flow_control else None
         )
         # (block_id, block_bytes, data) decoded in order, awaiting the app.
         self._app_queue: Deque[Tuple[int, int, Optional[bytes]]] = deque()
         self._drain_event = None
-        self.drained_blocks = 0
+        self.drained_blocks = int(resume_frontier)
         self.symbols_window_discarded = 0
         self.peak_buffered_blocks = 0
 

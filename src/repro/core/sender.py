@@ -44,17 +44,30 @@ class FmtcpSender(SubflowOwner):
         config: FmtcpConfig,
         block_manager: BlockManager,
         trace: Optional[TraceBus] = None,
+        resume_frontier: int = 0,
+        resume_margin: Optional[float] = None,
     ):
+        if resume_frontier < 0:
+            raise ValueError("resume_frontier must be >= 0")
         self.sim = sim
         self.config = config
         self.blocks = block_manager
         self.trace = trace
         self.subflows: List[Subflow] = []
         self._subflow_by_id: dict = {}
-        self._decoded_frontier_seen = 0
+        # resume_frontier restores a (possibly stale) sender checkpoint:
+        # blocks below it were confirmed decoded in a previous epoch. If
+        # the receiver got further than the checkpoint, its first
+        # feedback fast-forwards this cursor and the dedup path absorbs
+        # any blocks re-sent in between.
+        self._decoded_frontier_seen = int(resume_frontier)
         self._decoded_out_of_order_seen: set = set()
         # Adaptive completeness margin state (extension; see FmtcpConfig).
-        self.margin = config.completeness_margin
+        # A checkpointed margin carries the adapted scheduler state
+        # across a restart instead of re-learning it from scratch.
+        self.margin = (
+            resume_margin if resume_margin is not None else config.completeness_margin
+        )
         self._miss_count = 0
         self._window_completed = 0
         # Pluggable decision layer (repro.policy): when set, every regular
@@ -79,6 +92,11 @@ class FmtcpSender(SubflowOwner):
                 initial_s=config.zero_window_probe_s,
                 max_s=config.zero_window_probe_max_s,
             )
+            if resume_frontier:
+                # Seed the licence at the restored frontier so the gate
+                # admits the blocks being re-opened; the first real ACK's
+                # advertisement only ever raises it (monotone max).
+                self.flow_gate.advertise(resume_frontier, config.recv_window_blocks)
         self._window_probe_due = False
         self.window_probes = 0
         # Statistics.

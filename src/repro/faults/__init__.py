@@ -44,8 +44,10 @@ from repro.faults.scenario import (
     CHURN_KINDS,
     CORRUPTION_KINDS,
     CORRUPTION_SCENARIOS,
+    CRASH_KINDS,
     FAULT_KINDS,
     MOBILITY_SCENARIOS,
+    RECOVERY_SCENARIOS,
     SCENARIOS,
     FaultEvent,
     FaultInjector,
@@ -53,13 +55,29 @@ from repro.faults.scenario import (
     resolve_scenario,
 )
 
+# Endpoint crash/recovery rides the same scenario registry, but its
+# harness imports repro.faults.chaos/churn — an eager import here would
+# be circular whenever `repro.recovery` is imported first. Re-export
+# lazily (PEP 562) so either package can load in either order.
+_RECOVERY_EXPORTS = ("RecoveryReport", "measure_recovery", "run_recovery")
+
+
+def __getattr__(name):
+    if name in _RECOVERY_EXPORTS:
+        from repro.recovery import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "CHURN_KINDS",
     "CORRUPTION_KINDS",
     "CORRUPTION_SCENARIOS",
+    "CRASH_KINDS",
     "EXHAUSTION_SCENARIOS",
     "FAULT_KINDS",
     "MOBILITY_SCENARIOS",
+    "RECOVERY_SCENARIOS",
     "SCENARIOS",
     "PROTOCOLS",
     "ChaosReport",
@@ -72,13 +90,16 @@ __all__ = [
     "FaultInjector",
     "FaultScenario",
     "PathChurnController",
+    "RecoveryReport",
     "measure_bufferblock",
     "measure_churn_response",
     "measure_corruption_goodput",
     "measure_fault_response",
+    "measure_recovery",
     "resolve_scenario",
     "run_chaos",
     "run_churn",
     "run_corruption",
     "run_exhaustion",
+    "run_recovery",
 ]

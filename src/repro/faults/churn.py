@@ -85,6 +85,22 @@ class PathChurnController:
         """Id of the subflow currently riding ``path_index`` (or None)."""
         return self._subflow_of_path.get(path_index)
 
+    def rebind(self, connection, active_paths: Sequence[int]) -> None:
+        """Point the controller at a rebuilt connection (crash recovery).
+
+        The recovery manager's epoch model replaces the whole connection
+        object after a crash; the fault timeline, however, keeps driving
+        *this* controller. Rebinding refreshes the connection reference
+        and the path→subflow map so later churn events land on the new
+        epoch's subflows (which enumerate the same active path set, in
+        order).
+        """
+        self.connection = connection
+        self._subflow_of_path = {
+            path_index: connection.subflows[position].subflow_id
+            for position, path_index in enumerate(active_paths)
+        }
+
     def path_down(self, path_index: int) -> None:
         """The path disappeared: kill its links, remove its subflow."""
         path = self.paths[path_index]

@@ -64,6 +64,16 @@ CHURN_KINDS = ("path_down", "path_up", "handover")
 #: :class:`GilbertElliottCorruption`). ``None`` restores the baseline.
 CORRUPTION_KINDS = ("corrupt", "corrupt_ge")
 
+#: Endpoint crash/recovery event kinds: unlike every other kind, these
+#: mutate an *endpoint*, not the network. ``crash_sender`` and
+#: ``crash_receiver`` kill the respective endpoint (losing all volatile
+#: state — only its last durable checkpoint survives); ``restart`` brings
+#: a crashed endpoint back up (value ``None`` = whichever is down, or
+#: ``"sender"`` / ``"receiver"``). They need an endpoints handler (see
+#: :class:`repro.recovery.manager.RecoveryManager`); the ``path`` field is
+#: ignored (conventionally 0).
+CRASH_KINDS = ("crash_sender", "crash_receiver", "restart")
+
 FAULT_KINDS = (
     "down",
     "up",
@@ -72,7 +82,7 @@ FAULT_KINDS = (
     "loss",
     "reorder",
     "queue",
-) + CHURN_KINDS + CORRUPTION_KINDS
+) + CHURN_KINDS + CORRUPTION_KINDS + CRASH_KINDS
 
 
 def _make_bernoulli_corruption(value: Any) -> BernoulliCorruption:
@@ -148,6 +158,13 @@ class FaultEvent:
                 )
         elif self.kind in ("path_down", "path_up") and self.value is not None:
             raise ValueError(f"{self.kind} takes no value, got {self.value!r}")
+        elif self.kind in ("crash_sender", "crash_receiver") and self.value is not None:
+            raise ValueError(f"{self.kind} takes no value, got {self.value!r}")
+        elif self.kind == "restart" and self.value not in (None, "sender", "receiver"):
+            raise ValueError(
+                f"restart value must be None, 'sender' or 'receiver', "
+                f"got {self.value!r}"
+            )
         elif self.kind == "corrupt" and self.value is not None:
             _make_bernoulli_corruption(self.value)  # validates, result unused
         elif self.kind == "corrupt_ge" and self.value is not None:
@@ -217,6 +234,13 @@ class FaultScenario:
         return any(event.kind in CORRUPTION_KINDS for event in self.events)
 
     @property
+    def has_endpoint_faults(self) -> bool:
+        """Whether any event crashes/restarts an endpoint (needs an
+        endpoints handler; routes the scenario to
+        :func:`repro.recovery.harness.run_recovery`)."""
+        return any(event.kind in CRASH_KINDS for event in self.events)
+
+    @property
     def settle_time(self) -> float:
         """When the last lifecycle change has landed.
 
@@ -237,9 +261,12 @@ class FaultScenario:
         paths: Sequence[Path],
         trace: Optional[TraceBus] = None,
         lifecycle=None,
+        endpoints=None,
     ) -> "FaultInjector":
         """Arm the timeline against a topology; returns the injector."""
-        return FaultInjector(sim, paths, self, trace=trace, lifecycle=lifecycle)
+        return FaultInjector(
+            sim, paths, self, trace=trace, lifecycle=lifecycle, endpoints=endpoints
+        )
 
     # ------------------------------------------------------------------
     # Constructors.
@@ -247,16 +274,25 @@ class FaultScenario:
     @classmethod
     def named(cls, name: str) -> "FaultScenario":
         """Build one of the preset scenarios (:data:`SCENARIOS` link
-        faults, :data:`MOBILITY_SCENARIOS` subflow churn or
-        :data:`CORRUPTION_SCENARIOS` data corruption)."""
+        faults, :data:`MOBILITY_SCENARIOS` subflow churn,
+        :data:`CORRUPTION_SCENARIOS` data corruption or
+        :data:`RECOVERY_SCENARIOS` endpoint crashes)."""
         factory = (
             SCENARIOS.get(name)
             or MOBILITY_SCENARIOS.get(name)
             or CORRUPTION_SCENARIOS.get(name)
+            or RECOVERY_SCENARIOS.get(name)
         )
         if factory is None:
             known = ", ".join(
-                sorted({**SCENARIOS, **MOBILITY_SCENARIOS, **CORRUPTION_SCENARIOS})
+                sorted(
+                    {
+                        **SCENARIOS,
+                        **MOBILITY_SCENARIOS,
+                        **CORRUPTION_SCENARIOS,
+                        **RECOVERY_SCENARIOS,
+                    }
+                )
             )
             raise ValueError(f"unknown scenario {name!r} (known: {known})") from None
         return factory()
@@ -348,7 +384,10 @@ class FaultInjector:
     are delegated to ``lifecycle``, an object with ``path_down(index)``,
     ``path_up(index)`` and ``handover(from_path, to_path, break_s)``
     methods (see :class:`repro.faults.churn.PathChurnController`). Arming
-    a churn scenario without one is an error.
+    a churn scenario without one is an error. Likewise endpoint events
+    (:data:`CRASH_KINDS`) delegate to ``endpoints``, an object with
+    ``crash_sender()``, ``crash_receiver()`` and ``restart(which)``
+    methods (see :class:`repro.recovery.manager.RecoveryManager`).
 
     Overlap diagnosis: two non-restoring faults of the same kind on the
     same link apply last-writer-wins by design — legal, but a frequent
@@ -364,6 +403,7 @@ class FaultInjector:
         scenario: FaultScenario,
         trace: Optional[TraceBus] = None,
         lifecycle=None,
+        endpoints=None,
     ):
         if len(paths) < scenario.n_paths:
             raise ValueError(
@@ -376,11 +416,18 @@ class FaultInjector:
                 "events; arm it with a lifecycle handler "
                 "(repro.faults.churn.PathChurnController)"
             )
+        if scenario.has_endpoint_faults and endpoints is None:
+            raise ValueError(
+                f"scenario {scenario.name!r} contains endpoint crash/restart "
+                "events; arm it with an endpoints handler "
+                "(repro.recovery.manager.RecoveryManager)"
+            )
         self.sim = sim
         self.paths = list(paths)
         self.scenario = scenario
         self.trace = trace
         self.lifecycle = lifecycle
+        self.endpoints = endpoints
         self.applied: List[FaultEvent] = []
         self.overlaps: List[Tuple[FaultEvent, FaultEvent]] = []
         self._active_faults: Dict[Tuple[int, str], FaultEvent] = {}
@@ -453,6 +500,23 @@ class FaultInjector:
                 )
 
     def _apply(self, event: FaultEvent) -> None:
+        if event.kind in CRASH_KINDS:
+            if event.kind == "crash_sender":
+                self.endpoints.crash_sender()
+            elif event.kind == "crash_receiver":
+                self.endpoints.crash_receiver()
+            else:
+                self.endpoints.restart(event.value)
+            self.applied.append(event)
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "fault.apply",
+                    fault=event.kind,
+                    path=event.path,
+                    value=event.value,
+                )
+            return
         if event.kind in CHURN_KINDS:
             if event.kind == "path_down":
                 self.lifecycle.path_down(event.path)
@@ -698,6 +762,88 @@ CORRUPTION_SCENARIOS: Dict[str, Callable[[], FaultScenario]] = {
     "corruption_burst": _corruption_burst,
     "truncation_storm": _truncation_storm,
     "duplicate_mutation": _duplicate_mutation,
+}
+
+
+# ----------------------------------------------------------------------
+# Recovery presets: endpoint crash/restart timelines, same anchor shape
+# as the link presets (first crash at t=8 s, leaving [0, 8) as a clean
+# baseline window). Their own registry because they need an endpoints
+# handler and the checkpoint/reconnect machinery of
+# repro.recovery.harness.run_recovery.
+# ----------------------------------------------------------------------
+def _receiver_crash() -> FaultScenario:
+    # The receiver dies at t=8 s and its host comes back at t=11 s. The
+    # sender must notice the half-open connection (RTOs into the void),
+    # then reconnect and resume — FMTCP from the delivered-block frontier
+    # alone, MPTCP from its snapshotted chunk map.
+    return FaultScenario(
+        "receiver_crash",
+        [FaultEvent(8.0, "crash_receiver", 0), FaultEvent(11.0, "restart", 0)],
+    )
+
+
+def _sender_crash() -> FaultScenario:
+    # The sender dies at t=8 s (everything in flight and all pending
+    # blocks are lost; only the periodic checkpoint survives) and comes
+    # back at t=11 s. Stream bytes between the checkpoint and the
+    # receiver's frontier are re-sent and deduplicated at the receiver.
+    return FaultScenario(
+        "sender_crash",
+        [FaultEvent(8.0, "crash_sender", 0), FaultEvent(11.0, "restart", 0)],
+    )
+
+
+def _crash_storm() -> FaultScenario:
+    # Alternating endpoint crashes: three outages back to back, each a
+    # fresh recovery epoch with its own reconnect handshake and RNG
+    # streams. Exercises repeated checkpoint/restore cycling on both
+    # sides of the connection.
+    events = []
+    for crash, restart, kind in (
+        (6.0, 8.0, "crash_receiver"),
+        (11.0, 13.0, "crash_sender"),
+        (16.0, 18.0, "crash_receiver"),
+    ):
+        events.append(FaultEvent(crash, kind, 0))
+        events.append(FaultEvent(restart, "restart", 0))
+    return FaultScenario("crash_storm", events)
+
+
+def _crash_during_handover() -> FaultScenario:
+    # A WiFi→LTE handover at t=8 s (300 ms blackout) immediately followed
+    # by a receiver crash at t=8.5 s — the crash lands just after the new
+    # attachment comes up, so recovery must rebuild on the post-handover
+    # path set, not the one the transfer started with.
+    return FaultScenario(
+        "crash_during_handover",
+        [
+            FaultEvent(8.0, "handover", 0, (1, 0.3)),
+            FaultEvent(8.5, "crash_receiver", 0),
+            FaultEvent(10.5, "restart", 0),
+        ],
+        n_paths=2,
+        active_paths=(0,),
+    )
+
+
+def _reconnect_exhaustion() -> FaultScenario:
+    # The receiver crashes and never comes back: every reconnection
+    # attempt fails until the retry budget runs out and the recovery
+    # manager escalates through the watchdog's clean-fail rung. The
+    # harness asserts the *failure* is clean — diagnosis, no deadlock,
+    # drained event queue.
+    return FaultScenario(
+        "reconnect_exhaustion", [FaultEvent(8.0, "crash_receiver", 0)]
+    )
+
+
+RECOVERY_SCENARIOS: Dict[str, Callable[[], FaultScenario]] = {
+    "receiver_crash": _receiver_crash,
+    "sender_crash": _sender_crash,
+    "crash_storm": _crash_storm,
+    "crash_during_handover": _crash_during_handover,
+    "reconnect_exhaustion": _reconnect_exhaustion,
 }
 
 

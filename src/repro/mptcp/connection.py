@@ -185,6 +185,7 @@ class MptcpConnection(SubflowOwner):
         config: Optional[MptcpConfig] = None,
         trace: Optional[TraceBus] = None,
         sink: Optional[Callable[[Chunk], None]] = None,
+        resume=None,
     ):
         if not paths:
             raise ValueError("need at least one path")
@@ -266,6 +267,45 @@ class MptcpConnection(SubflowOwner):
         self.chunks_window_discarded = 0
         self.window_probes = 0
 
+        if resume is not None:
+            self._apply_resume(resume)
+
+    def _apply_resume(self, resume) -> None:
+        """Restore checkpointed endpoint state after a crash-recovery epoch.
+
+        Unlike FMTCP — whose ratelessness lets a restarted endpoint simply
+        resume at a block frontier and stream fresh symbols — MPTCP must
+        reconstruct exact chunk-level sequencing: the DSN cursor, the
+        acked-byte count, and the reorder buffer's in-order frontier all
+        restart from the checkpoint (the chunk map of unacked sizes is
+        dropped with the epoch; those chunks are re-pulled from the rewound
+        source). ``resume`` is duck-typed; see
+        :class:`repro.recovery.checkpoint.ResumeState`.
+        """
+        sender_frontier = int(resume.sender_frontier)
+        sender_bytes = int(resume.sender_byte_offset)
+        receiver_frontier = int(resume.receiver_frontier)
+        if sender_frontier < 0 or sender_bytes < 0 or receiver_frontier < 0:
+            raise ValueError("resume frontiers must be >= 0")
+        self._next_dsn = sender_frontier
+        self._data_acked = sender_frontier
+        self._acked_bytes = sender_bytes
+        self._pulled_stream_bytes = sender_bytes
+        self._completed_blocks = sender_bytes // self.config.block_bytes
+        self._reorder = ReorderBuffer(
+            self.config.recv_buffer_chunks,
+            trace=self.trace,
+            clock=lambda: self.sim.now,
+            start_seq=receiver_frontier,
+        )
+        self.delivered_chunks = receiver_frontier
+        self.drained_chunks = receiver_frontier
+        self.delivered_bytes = int(resume.receiver_bytes)
+        if self.recv_window is not None and receiver_frontier:
+            self.recv_window.on_drained(receiver_frontier)
+        if self.flow_gate is not None and sender_frontier:
+            self.flow_gate.advertise(sender_frontier, self.config.recv_buffer_chunks)
+
     def _attach(self, path: Path, join_delay_s: Optional[float]) -> Subflow:
         """Build one subflow + its receiver sink and register both."""
         subflow_id = self._next_subflow_id
@@ -328,6 +368,24 @@ class MptcpConnection(SubflowOwner):
             subflow.close()
         for sink in self._sinks:
             sink.close()
+
+    def sever_receiver(self) -> int:
+        """Kill the receiver endpoint only, leaving the sender running.
+
+        Models a receiver crash: the drain timer stops and the receiver's
+        ports unbind, so data segments drop silently and no data ACKs flow
+        back. The sender retransmits into the void until its RTO ladder
+        marks every subflow potentially-failed — the half-open window the
+        recovery manager's detector watches for. Port unbinding is
+        idempotent, so a later full ``close()`` remains safe. Returns the
+        number of sinks closed.
+        """
+        if self._drain_event is not None:
+            self._drain_event.cancel()
+            self._drain_event = None
+        for sink in self._sinks:
+            sink.close()
+        return len(self._sinks)
 
     # ------------------------------------------------------------------
     # Runtime subflow lifecycle.

@@ -49,14 +49,20 @@ class ReorderBuffer:
         capacity: int,
         trace: Optional[Any] = None,
         clock: Optional[Callable[[], float]] = None,
+        start_seq: int = 0,
     ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if start_seq < 0:
+            raise ValueError(f"start_seq must be >= 0, got {start_seq}")
         self.capacity = capacity
         self.trace = trace
         self.clock = clock
         self._buffered: Dict[int, Any] = {}
-        self.next_expected = 0
+        # Nonzero when a crash-recovered receiver resumes at its delivered
+        # frontier: earlier sequence numbers count as duplicates (MPTCP's
+        # chunk-map restore — contrast FMTCP, which discards decode state).
+        self.next_expected = int(start_seq)
         self.duplicates = 0
         self.high_watermark = 0
 

@@ -69,6 +69,7 @@ class Watchdog:
 
         self.escalation = 0  # 0 healthy, 1 shed, 2 boosted, 3 failed
         self.failed = False
+        self.fail_reason: Optional[str] = None
         self.diagnosis: Optional[Dict[str, Any]] = None
         self.stalls_detected = 0
         self.samplers_shed = 0
@@ -154,14 +155,33 @@ class Watchdog:
             self._emit("watchdog.margin_boost", margin=None)
         getattr(self.connection, "pump", lambda: None)()
 
+    def fail(self, reason: str) -> None:
+        """Escalate straight to a clean failure from outside the ladder.
+
+        Entry point for subsystems that *know* the transfer is dead
+        without waiting out stall windows — e.g. the recovery manager
+        after exhausting its reconnection budget. Idempotent; the reason
+        lands in :attr:`fail_reason`, the diagnosis, and the
+        ``watchdog.failed`` trace record.
+        """
+        if self.failed:
+            return
+        self.escalation = 3
+        self.fail_reason = reason
+        self._fail()
+        self.stop()
+
     def _fail(self) -> None:
         self.failed = True
         self.diagnosis = self.diagnose()
+        if self.fail_reason is not None:
+            self.diagnosis["fail_reason"] = self.fail_reason
         self._emit(
             "watchdog.failed",
             label=self.label,
             stalled_s=round(self.sim.now - self._last_progress_at, 3),
             delivered_bytes=self._last_progress_bytes,
+            reason=self.fail_reason or "stall",
         )
         if self.flight is not None and self.dump_dir is not None:
             os.makedirs(self.dump_dir, exist_ok=True)

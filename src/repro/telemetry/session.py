@@ -137,24 +137,36 @@ class TelemetrySession:
             )
         )
 
+    def stop(self) -> None:
+        """Tear down instrumentation without building a report.
+
+        This is the crash-path half of :meth:`finish`: recovery teardown
+        calls it when an endpoint dies mid-run and nobody wants a report
+        yet. Idempotent — double-stop (or ``stop()`` then ``finish()``)
+        never raises and never double-cancels a sampler's pending event
+        or double-closes the writer/flight ring.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        for sampler in self.samplers:
+            sampler.stop()
+        if self.writer is not None:
+            self.writer.close()
+        if self.profiler is not None and self.sim.profiler is self.profiler:
+            self.sim.set_profiler(None)
+        if self.flight is not None:
+            self.flight.close()
+        if self.spans is not None:
+            self.spans.detach()
+
     def finish(self) -> TelemetryReport:
         """Stop samplers, close the writer, detach the profiler; report.
 
         Idempotent — a second call returns a fresh report over the same
         (now frozen) state without double-detaching anything.
         """
-        if not self._finished:
-            self._finished = True
-            for sampler in self.samplers:
-                sampler.stop()
-            if self.writer is not None:
-                self.writer.close()
-            if self.profiler is not None and self.sim.profiler is self.profiler:
-                self.sim.set_profiler(None)
-            if self.flight is not None:
-                self.flight.close()
-            if self.spans is not None:
-                self.spans.detach()
+        self.stop()
         return TelemetryReport(
             metrics=self.registry.snapshot(),
             profile=self.profiler.report() if self.profiler is not None else None,

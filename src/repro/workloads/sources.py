@@ -71,6 +71,81 @@ class RandomPayloadSource:
         return payload
 
 
+class ReplayableSource:
+    """Wraps a source so a crash-restarted sender can re-pull committed data.
+
+    The recovery layer's epoch model rebuilds a sender from its last
+    durable checkpoint, which may sit *behind* the stream position the
+    inner source has already granted. This wrapper records every grant;
+    :meth:`rewind` moves the read position back to a stream offset so
+    subsequent pulls re-serve the recorded region — byte-identically in
+    bytes mode, count-identically in int mode — before delegating to the
+    inner source for fresh data again.
+
+    Replay offsets are only meaningful at grant boundaries; since both
+    stacks pull fixed-size units mid-stream (``block_bytes`` blocks,
+    ``mss`` chunks), checkpointed offsets always are. One reader at a
+    time: the epoch model tears the old connection down before the new
+    one pulls.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self._record = bytearray()  # grant transcript (bytes mode only)
+        self._bytes_mode: Optional[bool] = None
+        self.granted_bytes = 0  # unique stream bytes granted by inner
+        self._position = 0  # next stream offset served to the reader
+        self.rewinds = 0
+        self.replayed_bytes = 0
+
+    @property
+    def transcript(self):
+        """The inner source's transcript, if it keeps one."""
+        return getattr(self.inner, "transcript", None)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._position >= self.granted_bytes and bool(
+            getattr(self.inner, "exhausted", False)
+        )
+
+    def pull(self, max_bytes: int) -> PullResult:
+        if self._position < self.granted_bytes:
+            take = min(max_bytes, self.granted_bytes - self._position)
+            start = self._position
+            self._position += take
+            self.replayed_bytes += take
+            if self._bytes_mode:
+                return bytes(self._record[start : start + take])
+            return take
+        pulled = self.inner.pull(max_bytes)
+        if not pulled:
+            return pulled
+        if isinstance(pulled, bytes):
+            if self._bytes_mode is False:
+                raise TypeError("inner source switched from int to bytes grants")
+            self._bytes_mode = True
+            self._record.extend(pulled)
+            self.granted_bytes += len(pulled)
+        else:
+            if self._bytes_mode:
+                raise TypeError("inner source switched from bytes to int grants")
+            self._bytes_mode = False
+            self.granted_bytes += int(pulled)
+        self._position = self.granted_bytes
+        return pulled
+
+    def rewind(self, offset: int) -> None:
+        """Move the read position back to stream ``offset``."""
+        if not 0 <= offset <= self.granted_bytes:
+            raise ValueError(
+                f"rewind offset {offset} outside granted range "
+                f"[0, {self.granted_bytes}]"
+            )
+        self._position = offset
+        self.rewinds += 1
+
+
 class CbrSource:
     """Constant-bit-rate source (the paper's multimedia-streaming workload).
 

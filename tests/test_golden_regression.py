@@ -244,3 +244,37 @@ def test_paper_eat_policy_matches_golden_byte_identically():
         for metric, expected in GOLDEN[key].items():
             assert measured[metric] == expected, f"{key}:{metric} drifted"
         assert result.extras["decisions_delegated"] > 0
+
+
+def test_recovery_knobs_default_off():
+    """The crash-recovery machinery must be invisible unless asked for:
+    connections are born at epoch/frontier zero with no resume state, the
+    RNG registry's epoch 0 derives the exact pre-epoch seed layout, and
+    the randomized chaos scenarios never draw crash events (which would
+    shift every downstream RNG draw and break old seeds)."""
+    import inspect
+
+    from repro.core.blocks import BlockManager
+    from repro.core.connection import FmtcpConnection
+    from repro.faults import CRASH_KINDS, FaultScenario
+    from repro.mptcp.connection import MptcpConnection
+    from repro.mptcp.recv_buffer import ReorderBuffer
+    from repro.sim.rng import RngStreams
+
+    assert inspect.signature(FmtcpConnection).parameters["resume"].default is None
+    assert inspect.signature(MptcpConnection).parameters["resume"].default is None
+    assert inspect.signature(BlockManager).parameters["start_block_id"].default == 0
+    assert inspect.signature(ReorderBuffer).parameters["start_seq"].default == 0
+    assert inspect.signature(RngStreams).parameters["epoch"].default == 0
+
+    # Epoch 0 must reproduce the pre-epoch stream derivation exactly.
+    assert (
+        RngStreams(17).get("loss:path0").random()
+        == RngStreams(17, epoch=0).get("loss:path0").random()
+    )
+
+    # The random chaos generator's kind pool must stay crash-free.
+    for seed in range(1, 20):
+        scenario = FaultScenario.random(seed)
+        assert not scenario.has_endpoint_faults
+        assert all(e.kind not in CRASH_KINDS for e in scenario.events)

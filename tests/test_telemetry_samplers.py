@@ -193,3 +193,48 @@ def test_telemetry_session_finish_is_idempotent(sim, trace):
     second = session.finish()
     assert sim.profiler is None
     assert first.profile is not None and second.profile is not None
+
+
+def test_telemetry_session_stop_is_idempotent_from_crash_paths(tmp_path, sim, trace):
+    """Recovery teardown calls ``stop()`` with no report; a later second
+    stop (or ``finish()``) must not double-cancel samplers, double-close
+    the trace writer/flight ring, or detach someone else's profiler."""
+    from repro.net.topology import PathConfig, build_two_path_network
+    from repro.sim.rng import RngStreams
+    from repro.telemetry import TelemetryConfig, TelemetrySession
+    from repro.telemetry.profiler import SimProfiler
+    from repro.workloads.sources import BulkSource
+    from repro.mptcp.connection import MptcpConnection
+
+    configs = [PathConfig(bandwidth_bps=4e6, delay_s=0.02) for __ in range(2)]
+    network, paths = build_two_path_network(configs, rng=RngStreams(1))
+    connection = MptcpConnection(network.sim, paths, BulkSource(50_000))
+    session = TelemetrySession(
+        network.sim,
+        trace,
+        config=TelemetryConfig(
+            sample_period_s=0.1,
+            trace_path=str(tmp_path / "crash.jsonl"),
+            profile_sim=True,
+            flight_capacity=32,
+        ),
+    )
+    session.attach(connection)
+    connection.start()
+    network.sim.run(until=0.5)
+
+    session.stop()  # the crash path: teardown mid-run, no report
+    assert all(not s._running for s in session.samplers)
+    assert network.sim.profiler is None
+    session.stop()  # double-stop from a second crash handler: no raise
+    report = session.finish()  # and a late report still works
+    assert report.trace_records_written > 0
+    connection.close()
+
+    # stop() must not steal a profiler installed after the session's.
+    other_sim_session = TelemetrySession(sim, trace, config=TelemetryConfig(profile_sim=True))
+    replacement = SimProfiler()
+    sim.set_profiler(replacement)
+    other_sim_session.stop()
+    assert sim.profiler is replacement
+    sim.set_profiler(None)
