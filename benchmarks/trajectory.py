@@ -31,6 +31,10 @@ LEDGER_PATH = Path(__file__).parent / "results" / "BENCH_trajectory.json"
 # Row ledger appended by benchmarks/bench_recovery.py; `check` gates on
 # it when present (crash-recovery goodput retention must not regress).
 RECOVERY_LEDGER_PATH = Path(__file__).parent / "results" / "BENCH_recovery.json"
+# Row ledger appended by benchmarks/bench_traces.py; `check` gates on it
+# when present (FMTCP/MPTCP goodput ratio on the GPRS-like trace must
+# stay >= 1.0 and must not regress).
+TRACES_LEDGER_PATH = Path(__file__).parent / "results" / "BENCH_traces.json"
 
 # The probe workload: one fixed Table I transfer, profiled + span-traced.
 PROBE_PROTOCOL = "fmtcp"
@@ -188,6 +192,30 @@ def cmd_check(args: argparse.Namespace) -> int:
             print(
                 f"recovery ok: {len(recovery_rows)} rows, latest retention "
                 f"fmtcp {fmtcp:g} / mptcp {mptcp:g}"
+            )
+    if TRACES_LEDGER_PATH.exists():
+        trace_rows = load_ledger(TRACES_LEDGER_PATH)["rows"]
+        if trace_rows:
+            error = check_regression(
+                trace_rows,
+                metric="fmtcp_gprs_ratio",
+                threshold=args.threshold,
+            )
+            if error is not None:
+                print(f"error: traces {error}", file=sys.stderr)
+                return 1
+            newest = trace_rows[-1]
+            ratio = newest.get("fmtcp_gprs_ratio", 0)
+            if ratio < 1.0:
+                print(
+                    f"error: trace-replay ratio inverted: FMTCP/MPTCP "
+                    f"goodput {ratio:g} < 1.0 on the GPRS-like trace",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"traces ok: {len(trace_rows)} rows, latest GPRS "
+                f"fmtcp/mptcp ratio {ratio:g}"
             )
     return 0
 

@@ -280,9 +280,10 @@ def _print_fault_scenarios() -> None:
         MOBILITY_SCENARIOS,
         RECOVERY_SCENARIOS,
         SCENARIOS,
+        TRACE_SCENARIOS,
     )
 
-    print("Preset fault scenarios (also accepts random:SEED):")
+    print("Preset fault scenarios (also accepts random:SEED and trace:FILE.csv):")
     for name in sorted(SCENARIOS):
         scenario = SCENARIOS[name]()
         print(
@@ -323,6 +324,13 @@ def _print_fault_scenarios() -> None:
         print(
             f"  {name:>23}: {crashes} crash(es) / {restarts} restart(s), "
             f"window {window}"
+        )
+    print("Trace presets (replayed channel dynamics, byte-verified delivery):")
+    for name in sorted(TRACE_SCENARIOS):
+        scenario = TRACE_SCENARIOS[name]()
+        print(
+            f"  {name:>23}: {len(scenario.events)} events, "
+            f"replay {scenario.fault_start:.0f}-{scenario.heal_time:.0f}s"
         )
 
 
@@ -416,6 +424,22 @@ def cmd_faults(args: argparse.Namespace) -> Optional[int]:
             )
             if report.recovery_state == "failed":
                 progress += f", clean fail: {report.fail_reason}"
+        elif scenario.has_trace:
+            from repro.faults import run_traces
+
+            report = run_traces(
+                protocol,
+                scenario,
+                seed=args.seed,
+                duration_s=duration,
+                flight_dump_dir=args.flight_dir,
+            )
+            progress = (
+                f"{report.trace_ticks} trace ticks, peak occupancy "
+                f"{report.peak_occupancy}/{report.budget_units} units"
+            )
+            if report.watchdog_failed:
+                progress += f", clean fail at escalation {report.watchdog_escalation}"
         elif scenario.has_corruption:
             report = run_corruption(
                 protocol,
@@ -886,7 +910,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario",
         type=str,
         default="path_death",
-        help="preset name, random:SEED, or 'list'",
+        help="preset name, random:SEED, trace:FILE.csv, or 'list'",
     )
     faults.add_argument(
         "--protocol", choices=("fmtcp", "mptcp", "both"), default="both"

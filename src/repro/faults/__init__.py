@@ -12,7 +12,10 @@ quantifies goodput retention and recovery time.
 Data *corruption* scenarios (``corrupt``/``corrupt_ge`` events) get
 their own harness, :func:`run_corruption`, which sends real random
 payloads and additionally verifies the delivered stream byte-for-byte
-against the source transcript.
+against the source transcript. Channel *trace* scenarios (``trace``
+events replaying recorded/generated time series, see
+:mod:`repro.traces`) route to :func:`run_traces`, which adds bounded-
+memory and watchdog-interplay checks on top of byte verification.
 """
 
 from repro.faults.chaos import (
@@ -49,22 +52,31 @@ from repro.faults.scenario import (
     MOBILITY_SCENARIOS,
     RECOVERY_SCENARIOS,
     SCENARIOS,
+    TRACE_KINDS,
+    TRACE_SCENARIOS,
     FaultEvent,
     FaultInjector,
     FaultScenario,
     resolve_scenario,
+    trace_replay_scenario,
 )
 
-# Endpoint crash/recovery rides the same scenario registry, but its
-# harness imports repro.faults.chaos/churn — an eager import here would
-# be circular whenever `repro.recovery` is imported first. Re-export
-# lazily (PEP 562) so either package can load in either order.
+# Endpoint crash/recovery and trace replay ride the same scenario
+# registry, but their harnesses import repro.faults.chaos — an eager
+# import here would be circular whenever `repro.recovery` (or
+# `repro.traces`) is imported first. Re-export lazily (PEP 562) so the
+# packages can load in any order.
 _RECOVERY_EXPORTS = ("RecoveryReport", "measure_recovery", "run_recovery")
+_TRACE_EXPORTS = ("TraceReport", "measure_trace_goodput", "run_traces")
 
 
 def __getattr__(name):
     if name in _RECOVERY_EXPORTS:
         from repro.recovery import harness
+
+        return getattr(harness, name)
+    if name in _TRACE_EXPORTS:
+        from repro.traces import harness
 
         return getattr(harness, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
@@ -79,6 +91,8 @@ __all__ = [
     "MOBILITY_SCENARIOS",
     "RECOVERY_SCENARIOS",
     "SCENARIOS",
+    "TRACE_KINDS",
+    "TRACE_SCENARIOS",
     "PROTOCOLS",
     "ChaosReport",
     "ChurnReport",
@@ -91,15 +105,19 @@ __all__ = [
     "FaultScenario",
     "PathChurnController",
     "RecoveryReport",
+    "TraceReport",
     "measure_bufferblock",
     "measure_churn_response",
     "measure_corruption_goodput",
     "measure_fault_response",
     "measure_recovery",
+    "measure_trace_goodput",
     "resolve_scenario",
     "run_chaos",
     "run_churn",
     "run_corruption",
     "run_exhaustion",
     "run_recovery",
+    "run_traces",
+    "trace_replay_scenario",
 ]

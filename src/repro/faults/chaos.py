@@ -126,6 +126,12 @@ def run_chaos(
             "repro.faults.corruption.run_corruption (it verifies delivered "
             "bytes, which this harness cannot)"
         )
+    if scenario.has_trace:
+        raise ValueError(
+            f"scenario {scenario.name!r} replays channel traces; use "
+            "repro.traces.harness.run_traces (it verifies delivered bytes "
+            "and bounded memory, which this harness cannot)"
+        )
     trace = TraceBus()
     configs = [
         PathConfig(bandwidth_bps=bandwidth_bps, delay_s=delay_s, loss_rate=base_loss)

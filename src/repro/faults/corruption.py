@@ -124,6 +124,11 @@ def run_corruption(
             f"scenario {scenario.name!r} mixes corruption with subflow-"
             "lifecycle events; split it across run_corruption/run_churn"
         )
+    if scenario.has_trace:
+        raise ValueError(
+            f"scenario {scenario.name!r} mixes corruption with trace "
+            "replay; split it across run_corruption/run_traces"
+        )
     trace = TraceBus()
     configs = [
         PathConfig(bandwidth_bps=bandwidth_bps, delay_s=delay_s, loss_rate=base_loss)

@@ -34,6 +34,7 @@ the timeline across runs and platforms.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -74,6 +75,15 @@ CORRUPTION_KINDS = ("corrupt", "corrupt_ge")
 #: ignored (conventionally 0).
 CRASH_KINDS = ("crash_sender", "crash_receiver", "restart")
 
+#: Trace-replay event kinds: arm a :class:`~repro.traces.player.TracePlayer`
+#: replaying a recorded/generated channel time series onto the path's
+#: links. The value is a trace spec — a
+#: :class:`~repro.traces.model.LinkTrace`, a bundled asset name, a
+#: ``"family:seed"`` generator spec or a CSV path (see
+#: :func:`repro.traces.resolve_trace`) — or ``None`` to stop playback and
+#: restore the baseline.
+TRACE_KINDS = ("trace",)
+
 FAULT_KINDS = (
     "down",
     "up",
@@ -82,7 +92,7 @@ FAULT_KINDS = (
     "loss",
     "reorder",
     "queue",
-) + CHURN_KINDS + CORRUPTION_KINDS + CRASH_KINDS
+) + CHURN_KINDS + CORRUPTION_KINDS + CRASH_KINDS + TRACE_KINDS
 
 
 def _make_bernoulli_corruption(value: Any) -> BernoulliCorruption:
@@ -169,6 +179,36 @@ class FaultEvent:
             _make_bernoulli_corruption(self.value)  # validates, result unused
         elif self.kind == "corrupt_ge" and self.value is not None:
             _make_ge_corruption(self.value)  # validates, result unused
+        elif self.kind == "trace" and self.value is not None:
+            from repro.traces.generators import resolve_trace
+
+            resolve_trace(self.value)  # validates (and surfaces CSV errors early)
+        elif self.kind == "bandwidth":
+            # Caught here, at scenario-build time, instead of deep inside
+            # the event loop where a bad factor would either explode or
+            # silently produce nonsense serialisation times (NaN/inf).
+            factor = float(self.value)
+            if not math.isfinite(factor) or factor <= 0:
+                raise ValueError(
+                    f"bandwidth factor must be finite and positive, "
+                    f"got {self.value!r}"
+                )
+        elif self.kind == "delay":
+            factor = float(self.value)
+            if not math.isfinite(factor) or factor < 0:
+                raise ValueError(
+                    f"delay factor must be finite and non-negative, "
+                    f"got {self.value!r}"
+                )
+        elif self.kind == "loss" and self.value is not None:
+            rate = float(self.value)
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"loss rate must be in [0, 1), got {self.value!r}")
+        elif self.kind == "queue" and self.value is not None:
+            if int(self.value) < 1:
+                raise ValueError(
+                    f"queue capacity must be >= 1, got {self.value!r}"
+                )
 
 
 class FaultScenario:
@@ -241,6 +281,13 @@ class FaultScenario:
         return any(event.kind in CRASH_KINDS for event in self.events)
 
     @property
+    def has_trace(self) -> bool:
+        """Whether any event replays a channel trace (routes the scenario
+        to :func:`repro.traces.harness.run_traces`, whose invariants cover
+        byte-identity and bounded memory under bandwidth collapse)."""
+        return any(event.kind in TRACE_KINDS for event in self.events)
+
+    @property
     def settle_time(self) -> float:
         """When the last lifecycle change has landed.
 
@@ -275,13 +322,15 @@ class FaultScenario:
     def named(cls, name: str) -> "FaultScenario":
         """Build one of the preset scenarios (:data:`SCENARIOS` link
         faults, :data:`MOBILITY_SCENARIOS` subflow churn,
-        :data:`CORRUPTION_SCENARIOS` data corruption or
-        :data:`RECOVERY_SCENARIOS` endpoint crashes)."""
+        :data:`CORRUPTION_SCENARIOS` data corruption,
+        :data:`RECOVERY_SCENARIOS` endpoint crashes or
+        :data:`TRACE_SCENARIOS` replayed channel dynamics)."""
         factory = (
             SCENARIOS.get(name)
             or MOBILITY_SCENARIOS.get(name)
             or CORRUPTION_SCENARIOS.get(name)
             or RECOVERY_SCENARIOS.get(name)
+            or TRACE_SCENARIOS.get(name)
         )
         if factory is None:
             known = ", ".join(
@@ -291,6 +340,7 @@ class FaultScenario:
                         **MOBILITY_SCENARIOS,
                         **CORRUPTION_SCENARIOS,
                         **RECOVERY_SCENARIOS,
+                        **TRACE_SCENARIOS,
                     }
                 )
             )
@@ -431,6 +481,9 @@ class FaultInjector:
         self.applied: List[FaultEvent] = []
         self.overlaps: List[Tuple[FaultEvent, FaultEvent]] = []
         self._active_faults: Dict[Tuple[int, str], FaultEvent] = {}
+        # Live trace players keyed by (path, direction); a second trace
+        # event on the same key stops the old replay first.
+        self._players: Dict[Tuple[int, str], Any] = {}
         self._baselines: Dict[int, _LinkBaseline] = {}
         for path in self.paths:
             for link in (*path.forward_links, *path.reverse_links):
@@ -460,7 +513,7 @@ class FaultInjector:
             return True
         if event.kind in ("bandwidth", "delay"):
             return float(event.value) == 1.0
-        if event.kind in ("loss", "reorder", "queue", "corrupt", "corrupt_ge"):
+        if event.kind in ("loss", "reorder", "queue", "corrupt", "corrupt_ge", "trace"):
             return event.value is None
         return False  # "down" always degrades
 
@@ -499,7 +552,45 @@ class FaultInjector:
                     clobbered_value=previous.value,
                 )
 
+    def stop_players(self, restore: bool = True) -> None:
+        """Stop any live trace replays (harness cleanup for open-ended
+        runs whose scenario carries no explicit restore event)."""
+        for player in self._players.values():
+            player.stop(restore=restore)
+        self._players.clear()
+
+    def _apply_trace(self, event: FaultEvent) -> None:
+        self._note_overlap(event)
+        key = (event.path, event.direction)
+        existing = self._players.pop(key, None)
+        if existing is not None:
+            existing.stop(restore=True)
+        if event.value is not None:
+            from repro.traces.generators import resolve_trace
+            from repro.traces.player import TracePlayer
+
+            player = TracePlayer(
+                self.sim,
+                self._links_of(event),
+                resolve_trace(event.value),
+                bus=self.trace,
+            )
+            player.start()
+            self._players[key] = player
+        self.applied.append(event)
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now,
+                "fault.apply",
+                fault=event.kind,
+                path=event.path,
+                value=getattr(event.value, "name", event.value),
+            )
+
     def _apply(self, event: FaultEvent) -> None:
+        if event.kind in TRACE_KINDS:
+            self._apply_trace(event)
+            return
         if event.kind in CRASH_KINDS:
             if event.kind == "crash_sender":
                 self.endpoints.crash_sender()
@@ -847,8 +938,76 @@ RECOVERY_SCENARIOS: Dict[str, Callable[[], FaultScenario]] = {
 }
 
 
+# ----------------------------------------------------------------------
+# Trace presets: replayed channel dynamics. The trace rides path 1
+# during [2, 18) s (path 0 stays clean) — traces carry *absolute*
+# bandwidth/delay/loss regimes, not multiplicative factors, so the
+# window starts early to leave the 16 s generator defaults room before
+# the explicit restore at t=18 s. Their own registry because traces need
+# byte-level delivery verification plus the flow-control/watchdog
+# interplay checks of repro.traces.harness.run_traces.
+# ----------------------------------------------------------------------
+def trace_replay_scenario(
+    spec,
+    name: Optional[str] = None,
+    path: int = 1,
+    start: float = 2.0,
+    stop: float = 18.0,
+) -> FaultScenario:
+    """Wrap any trace spec (see :func:`repro.traces.generators.resolve_trace`)
+    in the canonical one-path replay window used by the presets."""
+    if name is None:
+        name = f"trace:{getattr(spec, 'name', spec)}"
+    return FaultScenario(
+        name,
+        [FaultEvent(start, "trace", path, spec), FaultEvent(stop, "trace", path, None)],
+    )
+
+
+def _gprs_bursty() -> FaultScenario:
+    # GPRS-like slow bursty link: two-state fades between ~170 kb/s and
+    # ~30 kb/s with bursty loss — the setting where fountain coding's
+    # insensitivity to *which* packets die is sharpest.
+    return trace_replay_scenario("gprs:1", name="gprs_bursty")
+
+
+def _leo_handover() -> FaultScenario:
+    # LEO-satellite pass: one-way delay sawtooths upward then snaps back
+    # through a ~500 ms outage window at each handover.
+    return trace_replay_scenario("leo:1", name="leo_handover")
+
+
+def _dc_incast() -> FaultScenario:
+    # Datacenter incast: periodic synchronized bursts crush the path's
+    # bandwidth and spike loss for a few hundred ms at a time.
+    return trace_replay_scenario("incast:1", name="dc_incast")
+
+
+def _cellular_replay() -> FaultScenario:
+    # Replays the bundled cellular drive-test CSV asset, exercising the
+    # package-data parse path end to end.
+    return trace_replay_scenario("cellular_drive", name="cellular_replay")
+
+
+def _wifi_replay() -> FaultScenario:
+    # Replays the bundled WiFi walk-test CSV asset (MCS rate ladder).
+    return trace_replay_scenario("wifi_walk", name="wifi_replay")
+
+
+TRACE_SCENARIOS: Dict[str, Callable[[], FaultScenario]] = {
+    "gprs_bursty": _gprs_bursty,
+    "leo_handover": _leo_handover,
+    "dc_incast": _dc_incast,
+    "cellular_replay": _cellular_replay,
+    "wifi_replay": _wifi_replay,
+}
+
+
 def resolve_scenario(spec: str) -> FaultScenario:
-    """Turn a CLI spec — a preset name or ``random:SEED`` — into a scenario."""
+    """Turn a CLI spec — a preset name, ``random:SEED`` or ``trace:PATH``
+    (a trace CSV file replayed in the canonical window) — into a scenario."""
     if spec.startswith("random:"):
         return FaultScenario.random(int(spec.split(":", 1)[1]))
+    if spec.startswith("trace:"):
+        return trace_replay_scenario(spec.split(":", 1)[1])
     return FaultScenario.named(spec)

@@ -17,6 +17,7 @@ already propagating keeps its old arrival time.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Optional
 
@@ -28,6 +29,24 @@ from repro.net.reorder import ReorderingModel
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.trace import TraceBus
+
+
+def _check_bandwidth(bandwidth_bps: float, link: str) -> None:
+    # `nan <= 0` is False, so a plain sign check would let NaN (and inf)
+    # through into serialisation-time arithmetic — reject explicitly.
+    if not math.isfinite(bandwidth_bps) or bandwidth_bps <= 0:
+        raise ValueError(
+            f"link {link!r}: bandwidth must be finite and positive, "
+            f"got {bandwidth_bps!r}"
+        )
+
+
+def _check_delay(delay_s: float, link: str) -> None:
+    if not math.isfinite(delay_s) or delay_s < 0:
+        raise ValueError(
+            f"link {link!r}: delay must be finite and non-negative, "
+            f"got {delay_s!r}"
+        )
 
 
 class Link:
@@ -47,10 +66,8 @@ class Link:
         reordering_model: Optional[ReorderingModel] = None,
         corruption_model: Optional[CorruptionModel] = None,
     ):
-        if bandwidth_bps <= 0:
-            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
-        if delay_s < 0:
-            raise ValueError(f"delay must be non-negative, got {delay_s}")
+        _check_bandwidth(bandwidth_bps, name)
+        _check_delay(delay_s, name)
         self.sim = sim
         self.name = name
         self.dst_node = dst_node
@@ -89,14 +106,12 @@ class Link:
 
     def set_bandwidth(self, bandwidth_bps: float) -> None:
         """Change the serialisation rate for packets not yet in service."""
-        if bandwidth_bps <= 0:
-            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        _check_bandwidth(bandwidth_bps, self.name)
         self.bandwidth_bps = float(bandwidth_bps)
 
     def set_delay(self, delay_s: float) -> None:
         """Change the propagation delay for packets not yet on the wire."""
-        if delay_s < 0:
-            raise ValueError(f"delay must be non-negative, got {delay_s}")
+        _check_delay(delay_s, self.name)
         self.delay_s = float(delay_s)
 
     def set_loss_model(self, loss_model: Optional[LossModel]) -> None:

@@ -1,9 +1,15 @@
-"""Restartable one-shot timers on top of the event scheduler.
+"""Restartable one-shot and aligned periodic timers on the scheduler.
 
 TCP code restarts its retransmission timer constantly; doing that with raw
 events means juggling cancellation handles everywhere. :class:`Timer`
 wraps the pattern: ``start`` (or ``restart``) arms it, ``stop`` disarms it,
 and the callback only fires if the timer is still armed.
+
+:class:`PeriodicTimer` adds drift-free repetition for clock-aligned
+replay (the trace player): the k-th tick fires at exactly
+``epoch + k * period`` via absolute scheduling, so accumulated float
+error never skews a long trace against the simulated clock the way a
+``now + period`` chain would.
 """
 
 from __future__ import annotations
@@ -63,3 +69,76 @@ class Timer:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = f"expires={self._expiry:.6f}" if self.armed else "idle"
         return f"<Timer {self.name} {state}>"
+
+
+class PeriodicTimer:
+    """A repeating timer whose ticks stay aligned to an epoch.
+
+    Tick ``k`` fires at ``epoch + k * period`` (absolute scheduling), and
+    the callback receives the *elapsed trace time* ``k * period`` — so a
+    replayed time series indexes itself by exact multiples of its step,
+    immune to float drift over thousands of ticks. ``stop`` disarms it;
+    the callback may call ``stop`` to end the series from inside a tick.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period_s: float,
+        callback: Callable[[float], Any],
+        name: str = "periodic",
+    ):
+        if period_s <= 0:
+            raise ValueError(f"period must be positive, got {period_s}")
+        self._sim = sim
+        self.period_s = period_s
+        self._callback = callback
+        self.name = name
+        self._event: Optional[Event] = None
+        self._epoch: Optional[float] = None
+        self._tick = 0
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def elapsed_s(self) -> float:
+        """Trace time of the most recently scheduled tick."""
+        return self._tick * self.period_s
+
+    def start(self, fire_now: bool = True) -> None:
+        """Anchor the epoch at the current simulated time and begin ticking.
+
+        With ``fire_now`` the first tick (elapsed 0.0) runs at the epoch
+        itself; otherwise the first tick is one period in.
+        """
+        self.stop()
+        self._epoch = self._sim.now
+        self._tick = 0 if fire_now else 1
+        self._schedule_next()
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        self._epoch = None
+        self._tick = 0
+
+    def _schedule_next(self) -> None:
+        assert self._epoch is not None
+        self._event = self._sim.schedule_at(
+            self._epoch + self._tick * self.period_s, self._fire
+        )
+
+    def _fire(self) -> None:
+        if self._event is None or self._event.cancelled:
+            return
+        elapsed = self._tick * self.period_s
+        self._tick += 1
+        self._schedule_next()
+        self._callback(elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"tick={self._tick}" if self.armed else "idle"
+        return f"<PeriodicTimer {self.name} period={self.period_s:g}s {state}>"

@@ -1,0 +1,169 @@
+"""Replay a :class:`~repro.traces.model.LinkTrace` onto live links.
+
+The player is the bridge between a recorded (or generated) channel time
+series and the runtime-mutation API of :class:`~repro.net.link.Link`:
+on every tick it evaluates the trace at the aligned trace time and
+drives ``set_bandwidth`` / ``set_delay`` / ``set_loss_model`` on its
+links. Baselines are captured at :meth:`start`, so ``stop`` (or the
+``clear`` end policy) returns every link to exactly its pre-trace
+settings — the same contract the fault injector keeps.
+
+Clock alignment: trace time 0 is the simulated instant :meth:`start`
+runs, and ticks ride a :class:`~repro.sim.timers.PeriodicTimer`, whose
+k-th tick fires at exactly ``start + k * step`` — no float drift between
+the trace's own clock and the simulator's over long replays.
+
+A ``None`` field in a sample leaves that dimension at the link's
+baseline; a trace's loss regime is materialised as a fresh
+:class:`~repro.net.loss.BernoulliLoss` (stateless, so each link keeps
+drawing from its own RNG stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.net.loss import BernoulliLoss
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer
+from repro.sim.trace import TraceBus
+from repro.traces.model import LinkTrace, TraceSample
+
+
+@dataclass
+class _LinkBaseline:
+    bandwidth_bps: float
+    delay_s: float
+    loss_model: object
+
+
+class TracePlayer:
+    """Drives one trace onto a set of links until stopped or ended."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        links: Sequence,
+        trace: LinkTrace,
+        step_s: float = 0.1,
+        bus: Optional[TraceBus] = None,
+    ):
+        if not links:
+            raise ValueError("TracePlayer needs at least one link")
+        if step_s <= 0:
+            raise ValueError(f"step must be positive, got {step_s}")
+        self.sim = sim
+        self.links = list(links)
+        self.trace = trace
+        self.step_s = step_s
+        self.bus = bus
+        self.ticks_applied = 0
+        self._timer = PeriodicTimer(
+            sim, step_s, self._tick, name=f"trace:{trace.name}"
+        )
+        self._baselines: Dict[int, _LinkBaseline] = {}
+        self._finished = False
+
+    @property
+    def playing(self) -> bool:
+        return self._timer.armed
+
+    @property
+    def finished(self) -> bool:
+        """Whether playback ran off the end of a ``clear``-policy trace."""
+        return self._finished
+
+    def start(self) -> None:
+        """Capture baselines, anchor trace time 0 at ``sim.now``, begin."""
+        if self.playing:
+            raise RuntimeError(f"trace {self.trace.name!r} is already playing")
+        self._finished = False
+        self._baselines = {
+            id(link): _LinkBaseline(
+                bandwidth_bps=link.bandwidth_bps,
+                delay_s=link.delay_s,
+                loss_model=link.loss_model,
+            )
+            for link in self.links
+        }
+        self._timer.start(fire_now=True)
+
+    def stop(self, restore: bool = True) -> None:
+        """End playback; by default return the links to their baselines."""
+        self._timer.stop()
+        if restore and self._baselines:
+            for link in self.links:
+                baseline = self._baselines[id(link)]
+                link.set_bandwidth(baseline.bandwidth_bps)
+                link.set_delay(baseline.delay_s)
+                link.set_loss_model(baseline.loss_model)
+            if self.bus is not None and self.bus.has_subscribers("trace.restore"):
+                self.bus.emit(
+                    self.sim.now,
+                    "trace.restore",
+                    trace=self.trace.name,
+                    links=[link.name for link in self.links],
+                )
+
+    def _tick(self, elapsed_s: float) -> None:
+        sample = self.trace.sample_at(elapsed_s)
+        if sample is None:
+            # "clear" policy past the end: restore and retire.
+            self._finished = True
+            self.stop(restore=True)
+            return
+        self._apply(sample)
+        self.ticks_applied += 1
+        if self.trace.end_policy == "hold" and elapsed_s >= self.trace.duration_s:
+            # Holding the last sample needs no further ticks.
+            self._timer.stop()
+
+    def _apply(self, sample: TraceSample) -> None:
+        for link in self.links:
+            baseline = self._baselines[id(link)]
+            if sample.bandwidth_bps is not None:
+                link.set_bandwidth(sample.bandwidth_bps)
+            else:
+                link.set_bandwidth(baseline.bandwidth_bps)
+            if sample.delay_s is not None:
+                link.set_delay(sample.delay_s)
+            else:
+                link.set_delay(baseline.delay_s)
+            if sample.loss_rate is None:
+                link.set_loss_model(baseline.loss_model)
+            elif sample.loss_rate > 0.0:
+                link.set_loss_model(BernoulliLoss(sample.loss_rate))
+            else:
+                link.set_loss_model(None)  # lossless regime
+        if self.bus is not None and self.bus.has_subscribers("trace.sample"):
+            self.bus.emit(
+                self.sim.now,
+                "trace.sample",
+                trace=self.trace.name,
+                bandwidth_bps=sample.bandwidth_bps,
+                delay_s=sample.delay_s,
+                loss_rate=sample.loss_rate,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "playing" if self.playing else "idle"
+        return (
+            f"<TracePlayer {self.trace.name!r} over {len(self.links)} "
+            f"link(s) {state}>"
+        )
+
+
+def attach_players(
+    sim: Simulator,
+    links_by_group: Sequence[Sequence],
+    trace: LinkTrace,
+    step_s: float = 0.1,
+    bus: Optional[TraceBus] = None,
+) -> List[TracePlayer]:
+    """One player per link group (e.g. per path), all sharing one trace."""
+    return [
+        TracePlayer(sim, links, trace, step_s=step_s, bus=bus)
+        for links in links_by_group
+        if links
+    ]

@@ -178,6 +178,52 @@ def test_faults_unknown_scenario_menu_includes_corruption(capsys):
     assert "bit_rot" in captured.out and "corruption_burst" in captured.out
 
 
+def test_faults_list_includes_trace_presets(capsys):
+    assert main(["faults", "--scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "Trace presets" in out
+    assert "gprs_bursty" in out and "leo_handover" in out
+    assert "trace:FILE.csv" in out
+
+
+def test_faults_trace_scenario_command(capsys):
+    assert main(
+        ["faults", "--scenario", "dc_incast", "--protocol", "fmtcp"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Scenario dc_incast" in out
+    assert "OK" in out
+    # Trace reports show replay + flow-control counters.
+    assert "trace ticks" in out and "peak occupancy" in out
+
+
+def test_faults_trace_file_scenario(tmp_path, capsys):
+    from repro.traces import gprs_trace
+
+    path = tmp_path / "drive.csv"
+    path.write_text(gprs_trace(seed=3).to_csv())
+    assert main(["faults", "--scenario", f"trace:{path}", "--protocol",
+                 "fmtcp"]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and "trace ticks" in out
+
+
+def test_faults_malformed_trace_csv_exits_2_with_menu(tmp_path, capsys):
+    path = tmp_path / "broken.csv"
+    path.write_text("time_s,bandwidth_bps\n0.0,100\n")
+    assert main(["faults", "--scenario", f"trace:{path}"]) == 2
+    captured = capsys.readouterr()
+    assert "expected header" in captured.err
+    assert "gprs_bursty" in captured.out  # menu convention
+
+
+def test_faults_unreadable_trace_csv_exits_2(tmp_path, capsys):
+    assert main(["faults", "--scenario", f"trace:{tmp_path / 'nope.csv'}"]) == 2
+    captured = capsys.readouterr()
+    assert "cannot read trace file" in captured.err
+    assert "Trace presets" in captured.out
+
+
 def test_policy_list_command(capsys):
     assert main(["policy", "list"]) == 0
     out = capsys.readouterr().out

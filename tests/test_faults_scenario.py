@@ -183,6 +183,38 @@ def test_fault_event_validation():
         FaultEvent(1.0, "down", 0, direction="sideways")
 
 
+def test_fault_event_value_validation():
+    """Out-of-range (and NaN/inf) link-mutation values fail at scenario
+    build time with a diagnostic, not mid-run inside the injector."""
+    nan, inf = float("nan"), float("inf")
+    for bad in (0.0, -1.0, nan, inf):
+        with pytest.raises(ValueError, match="bandwidth factor"):
+            FaultEvent(1.0, "bandwidth", 0, bad)
+    for bad in (-0.5, nan, inf):
+        with pytest.raises(ValueError, match="delay factor"):
+            FaultEvent(1.0, "delay", 0, bad)
+    for bad in (-0.1, 1.0, 1.5, nan):
+        with pytest.raises(ValueError, match=r"loss rate"):
+            FaultEvent(1.0, "loss", 0, bad)
+    with pytest.raises(ValueError, match="queue capacity"):
+        FaultEvent(1.0, "queue", 0, 0)
+    # In-range values still build.
+    FaultEvent(1.0, "bandwidth", 0, 0.05)
+    FaultEvent(1.0, "delay", 0, 0.0)
+    FaultEvent(1.0, "loss", 0, 0.0)
+    FaultEvent(1.0, "loss", 0, None)
+    FaultEvent(1.0, "queue", 0, 1)
+
+
+def test_trace_event_validation():
+    """A trace event resolves (and so validates) its spec at build time."""
+    event = FaultEvent(2.0, "trace", 1, "gprs:1")
+    assert event.kind == "trace"
+    with pytest.raises(ValueError, match="unknown trace spec"):
+        FaultEvent(2.0, "trace", 1, "warp_drive")
+    FaultEvent(18.0, "trace", 1, None)  # restore event
+
+
 def test_scenario_sorts_events_and_exposes_window():
     scenario = FaultScenario(
         "x",
@@ -236,6 +268,30 @@ def test_resolve_scenario_specs():
     assert resolve_scenario("random:9").name == "random:9"
     with pytest.raises(ValueError):
         resolve_scenario("bogus")
+
+
+def test_trace_presets_registered_and_resolvable(tmp_path):
+    from repro.faults import TRACE_SCENARIOS
+
+    for name in TRACE_SCENARIOS:
+        scenario = FaultScenario.named(name)
+        assert scenario.name == name
+        assert scenario.has_trace
+        assert not scenario.has_churn
+        assert not scenario.has_corruption
+        assert not scenario.has_endpoint_faults
+        # Every preset restores: the last event clears the trace.
+        last = scenario.events[-1]
+        assert last.kind == "trace" and last.value is None
+    # trace:PATH wraps an arbitrary CSV in the canonical window.
+    from repro.traces import gprs_trace
+
+    path = tmp_path / "drive.csv"
+    path.write_text(gprs_trace(seed=4).to_csv())
+    scenario = resolve_scenario(f"trace:{path}")
+    assert scenario.has_trace
+    with pytest.raises(ValueError, match="cannot read"):
+        resolve_scenario(f"trace:{tmp_path / 'missing.csv'}")
 
 
 # ----------------------------------------------------------------------
@@ -321,6 +377,34 @@ def test_injector_rejects_too_few_paths():
     scenario = FaultScenario("big", [FaultEvent(1.0, "down", 2)], n_paths=3)
     with pytest.raises(ValueError):
         scenario.apply(network.sim, paths)
+
+
+def test_injector_trace_event_plays_and_restores():
+    from repro.traces import LinkTrace, TraceSample
+
+    network, paths = build_network()
+    links = paths[1].forward_links
+    baseline_bw = links[0].bandwidth_bps
+    replay = LinkTrace("crush", [TraceSample(0.0, bandwidth_bps=5e4)])
+    scenario = FaultScenario(
+        "replay",
+        [FaultEvent(1.0, "trace", 1, replay), FaultEvent(3.0, "trace", 1, None)],
+    )
+    injector = scenario.apply(network.sim, paths)
+    network.sim.run(until=2.0)
+    assert links[0].bandwidth_bps == 5e4
+    assert paths[0].forward_links[0].bandwidth_bps == baseline_bw  # path 0 clean
+    network.sim.run(until=4.0)
+    assert links[0].bandwidth_bps == baseline_bw  # restore event healed it
+    assert not injector._players  # player retired with the restore
+    # A replayed trace with no restore event is stopped by stop_players.
+    open_ended = FaultScenario("open", [FaultEvent(1.0, "trace", 1, replay)])
+    network2, paths2 = build_network()
+    injector2 = open_ended.apply(network2.sim, paths2)
+    network2.sim.run(until=2.0)
+    assert paths2[1].forward_links[0].bandwidth_bps == 5e4
+    injector2.stop_players()
+    assert paths2[1].forward_links[0].bandwidth_bps == baseline_bw
 
 
 # ----------------------------------------------------------------------

@@ -278,3 +278,38 @@ def test_recovery_knobs_default_off():
         scenario = FaultScenario.random(seed)
         assert not scenario.has_endpoint_faults
         assert all(e.kind not in CRASH_KINDS for e in scenario.events)
+
+
+def test_trace_knobs_default_off():
+    """The trace-replay machinery must be invisible unless asked for: no
+    link is born with a player attached, scenarios without trace events
+    never import repro.traces, and the randomized chaos scenarios never
+    draw trace events (which would shift every downstream RNG draw and
+    break old seeds)."""
+    import inspect
+
+    from repro.faults import TRACE_KINDS, FaultScenario
+    from repro.net.topology import PathConfig, build_two_path_network
+    from repro.sim.rng import RngStreams
+
+    # Trace replay rides the injector; a fresh injector has no players.
+    configs = [PathConfig(bandwidth_bps=4e6, delay_s=0.02) for __ in range(2)]
+    network, paths = build_two_path_network(configs, rng=RngStreams(1))
+    scenario = FaultScenario("plain", [])
+    injector = scenario.apply(network.sim, paths)
+    assert injector._players == {}
+    assert not scenario.has_trace
+
+    # The random chaos generator's kind pool must stay trace-free.
+    for seed in range(1, 20):
+        random_scenario = FaultScenario.random(seed)
+        assert not random_scenario.has_trace
+        assert all(e.kind not in TRACE_KINDS for e in random_scenario.events)
+
+    # run_traces defaults must not leak into the shared harnesses: the
+    # chaos/corruption harness signatures carry no trace parameters.
+    from repro.faults.chaos import run_chaos
+    from repro.faults.corruption import run_corruption
+
+    for harness in (run_chaos, run_corruption):
+        assert "trace_spec" not in inspect.signature(harness).parameters

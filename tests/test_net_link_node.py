@@ -105,6 +105,30 @@ def test_link_validation(sim):
         Link(sim, "l", Node("d"), bandwidth_bps=1e6, delay_s=-1.0)
 
 
+def test_link_validation_rejects_nan_and_inf(sim):
+    # `nan <= 0` is False, so a plain sign check would wave NaN through
+    # into serialisation arithmetic; the link must reject it explicitly
+    # and name itself in the diagnostic.
+    nan, inf = float("nan"), float("inf")
+    for bad in (nan, inf, -inf):
+        with pytest.raises(ValueError, match="'l'"):
+            Link(sim, "l", Node("d"), bandwidth_bps=bad, delay_s=0.0)
+        with pytest.raises(ValueError, match="'l'"):
+            Link(sim, "l", Node("d"), bandwidth_bps=1e6, delay_s=bad)
+
+
+def test_link_runtime_mutation_rejects_nan_and_inf(sim):
+    link = Link(sim, "wire-7", Node("d"), bandwidth_bps=1e6, delay_s=0.01)
+    for bad in (float("nan"), float("inf")):
+        with pytest.raises(ValueError, match="wire-7"):
+            link.set_bandwidth(bad)
+        with pytest.raises(ValueError, match="wire-7"):
+            link.set_delay(bad)
+    # Rejected mutations leave the link untouched.
+    assert link.bandwidth_bps == 1e6
+    assert link.delay_s == 0.01
+
+
 # ----------------------------------------------------------------------
 # Node behaviour.
 # ----------------------------------------------------------------------

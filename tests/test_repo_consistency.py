@@ -79,3 +79,16 @@ def test_public_api_importable():
 
     for name in repro.__all__:
         assert hasattr(repro, name), name
+
+
+def test_bundled_trace_assets_in_package_data():
+    """Every bundled trace asset must exist on disk AND be covered by the
+    package-data globs, or sdists/wheels would ship without them and
+    ``load_bundled_trace`` would fail post-install."""
+    from repro.traces import BUNDLED_TRACES
+
+    data_dir = REPO / "src" / "repro" / "traces" / "data"
+    for name in BUNDLED_TRACES:
+        assert (data_dir / f"{name}.csv").is_file(), name
+    pyproject = read("pyproject.toml")
+    assert "traces/data/*.csv" in pyproject
